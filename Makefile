@@ -1,0 +1,32 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full repro examples lint-goldens clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_SCALE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+repro:
+	$(PYTHON) examples/reproduce_paper.py
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+lint-goldens:
+	$(PYTHON) tests/test_golden.py regen
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

@@ -1,0 +1,34 @@
+"""Shared configuration for the reproduction benches.
+
+Each bench regenerates one of the paper's tables or figures and asserts
+the reproduced *shape* (who wins, orderings, trends) rather than absolute
+numbers — the substrate is a simulator with synthetic workloads, not the
+authors' gem5 + SPEC testbed (see EXPERIMENTS.md).
+
+Scale: benches default to a trimmed quick scale so the whole suite runs
+in minutes; set REPRO_SCALE=full for the full benchmark lists.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import Scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    if os.environ.get("REPRO_SCALE") == "full":
+        return Scale.full()
+    return Scale(insts=6_000, benchmarks_per_suite=4, sizes=(48, 64, 96))
+
+
+@pytest.fixture(scope="session")
+def results_cache() -> dict:
+    """Session-wide memo so related benches don't re-simulate."""
+    return {}
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Ablation: hybrid 4-bank register file vs uniform shadow provisioning.
+
+Paper Section IV-C: giving *every* register three shadow cells is not
+cost-effective — at equal area the uniform design affords fewer registers
+than the hybrid design that concentrates shadows where Figure 9 says they
+are needed.  We compare three equal-area organisations.
+"""
+
+from conftest import run_once
+
+from repro.area.equal_area import baseline_area, proposed_area
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import simulate
+from repro.workloads import BENCHMARKS, SyntheticWorkload
+
+
+def uniform_3shadow_banks(baseline_regs: int) -> tuple[int, int, int, int]:
+    """Largest all-3-shadow configuration fitting the baseline's area."""
+    budget = baseline_area(baseline_regs)
+    n = 36
+    while proposed_area((0, 0, 0, n + 1)) <= budget:
+        n += 1
+    return (0, 0, 0, n)
+
+
+def run(banks, scale, names=("bwaves", "hmmer", "libquantum")):
+    ipcs = []
+    for name in names:
+        workload = SyntheticWorkload(BENCHMARKS[name], total_insts=scale.insts)
+        config = MachineConfig(scheme="sharing", int_banks=banks,
+                               fp_banks=banks, verify_values=False)
+        ipcs.append(simulate(config, iter(workload)).ipc)
+    return sum(ipcs) / len(ipcs)
+
+
+def test_bank_organisation_ablation(benchmark, scale):
+    baseline_regs = 64
+    from repro.area.equal_area import equal_area_banks
+
+    hybrid = equal_area_banks(baseline_regs)
+    uniform = uniform_3shadow_banks(baseline_regs)
+    no_shadow = (baseline_regs, 0, 0, 0)
+
+    def sweep():
+        return {
+            "hybrid": run(hybrid, scale),
+            "uniform": run(uniform, scale),
+            "no_shadow": run(no_shadow, scale),
+        }
+
+    results = run_once(benchmark, sweep)
+    print(f"\n  hybrid {hybrid}: IPC {results['hybrid']:.3f}")
+    print(f"  uniform 3-shadow {uniform}: IPC {results['uniform']:.3f}")
+    print(f"  no shadows {no_shadow}: IPC {results['no_shadow']:.3f}")
+
+    # uniform provisioning buys fewer registers at equal area
+    assert sum(uniform) < sum(hybrid)
+    # Under our calibrated shadow-cell cost (~10% of a multi-ported
+    # register), uniform provisioning is competitive with the hybrid —
+    # the paper's preference for the hybrid follows from a pricier shadow
+    # cell.  We assert the two designs are within noise of each other and
+    # record the sensitivity in EXPERIMENTS.md.
+    assert results["hybrid"] >= results["uniform"] * 0.95
+    # shadow cells are what enables reuse: removing them forfeits the win
+    assert results["hybrid"] >= results["no_shadow"] * 0.97
+    assert results["uniform"] > results["no_shadow"]

@@ -1,0 +1,59 @@
+"""Ablation: hardware predictors vs static compiler hints (Section VII).
+
+The paper dismisses compiler-directed approaches (Jones et al.) because
+they need ISA changes and compiler support.  This ablation runs the
+sharing scheme with (a) the paper's learned predictors and (b) static
+plan-level single-use hints embedded in the trace, and shows the learned
+design achieves at least comparable reuse and performance — i.e. the
+hardware-only scheme does not sacrifice anything for its ISA neutrality.
+"""
+
+from conftest import run_once
+
+from repro.harness.runner import geomean
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import simulate
+from repro.workloads import BENCHMARKS, SyntheticWorkload
+
+NAMES = ("bwaves", "lbm", "gcc", "mcf")
+
+
+def run(scheme, name, scale):
+    workload = SyntheticWorkload(BENCHMARKS[name], total_insts=scale.insts)
+    config = MachineConfig(scheme=scheme, int_regs=64, fp_regs=64,
+                           verify_values=False)
+    return simulate(config, iter(workload))
+
+
+def test_predictors_vs_compiler_hints(benchmark, scale):
+    def sweep():
+        results = {}
+        for name in NAMES:
+            results[name] = {
+                scheme: run(scheme, name, scale)
+                for scheme in ("sharing", "hinted")
+            }
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    ipc_ratios, reuse_deltas = [], []
+    for name, stats in results.items():
+        predicted = stats["sharing"]
+        hinted = stats["hinted"]
+        ipc_ratios.append(predicted.ipc / hinted.ipc)
+        reuse_deltas.append(predicted.renamer_stats.reuse_fraction
+                            - hinted.renamer_stats.reuse_fraction)
+        print(f"  {name:8s} predicted: reuse "
+              f"{predicted.renamer_stats.reuse_fraction:.2f} IPC {predicted.ipc:.3f}"
+              f"   hinted: reuse {hinted.renamer_stats.reuse_fraction:.2f} "
+              f"IPC {hinted.ipc:.3f}")
+
+    # the learned predictors are at least competitive with static hints
+    assert geomean(ipc_ratios) >= 0.98
+    assert sum(reuse_deltas) / len(reuse_deltas) >= -0.03
+
+    # hints are conservative: they avoid repairs entirely, while the
+    # learned design pays a small repair tax for its extra reuses
+    for name, stats in results.items():
+        assert stats["hinted"].renamer_stats.repairs == 0

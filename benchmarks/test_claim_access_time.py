@@ -1,0 +1,31 @@
+"""Section IV-C2 claim: "there is a very small increase, less than 1%, in
+the access time of the register file with the shadow cells"."""
+
+from conftest import run_once
+
+from repro.area.cacti_lite import access_time_ns
+
+
+def test_shadow_cells_access_time_increase_below_one_percent(benchmark):
+    def sweep():
+        rows = []
+        for num_regs in (48, 64, 96, 128):
+            for bits in (64, 128):
+                base = access_time_ns(num_regs, bits)
+                # worst case: every register carries three shadow cells
+                shadowed = access_time_ns(num_regs, bits,
+                                          shadow_cells_per_reg=3.0)
+                rows.append((num_regs, bits, base, shadowed,
+                             shadowed / base - 1.0))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    for num_regs, bits, base, shadowed, increase in rows:
+        print(f"  {num_regs:4d} x {bits:3d}-bit: {base:.3f} ns -> "
+              f"{shadowed:.3f} ns ({100 * increase:+.2f}%)")
+        assert increase < 0.01, "the paper's <1% claim must hold"
+        assert increase > 0.0, "shadow cells do stretch the word line"
+
+    # access time grows with file size (the motivation for small files)
+    assert access_time_ns(128) > access_time_ns(48)

@@ -1,0 +1,41 @@
+"""Figure 10: equal-area speedups across register-file sizes.
+
+Paper's shape: the proposed scheme wins at small register files (12.2% fp
+/ up to 47% int at RF 48 on their substrate) and the benefit decays to
+under 1% as the file grows, because the register file stops being the
+bottleneck.  We assert the decay shape and the no-regression property at
+large files; absolute gains on our substrate are smaller (see
+EXPERIMENTS.md).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.figures import figure10
+from repro.harness.runner import geomean
+
+
+@pytest.mark.parametrize("suite", ["specfp", "specint", "media+cog"])
+def test_figure10(benchmark, scale, suite, results_cache):
+    result = run_once(benchmark, lambda: figure10(suite, scale))
+    results_cache[("fig10", suite)] = result
+    print("\n" + result.render())
+
+    sizes = sorted(result.sizes)
+    small, large = sizes[0], sizes[-1]
+
+    # gains exist under pressure and shrink for large files (they do not
+    # fully vanish for high-MLP streaming benchmarks: with a 128-entry ROB
+    # even a 96-register file still bounds the in-flight window)
+    small_avg = geomean([result.average(s) for s in sizes[:2]])
+    assert small_avg > 1.0, f"{suite}: no benefit at small register files"
+    assert 0.92 < result.average(large) < 1.10, \
+        f"{suite}: large files should be mostly insensitive"
+
+    # decay shape: pressured sizes beat the largest size
+    assert small_avg >= result.average(large) - 0.01
+
+    # the scheme never loses badly anywhere (equal-area comparison)
+    for row in result.rows:
+        for size, speedup in row.speedups.items():
+            assert speedup > 0.90, f"{row.benchmark}@RF{size}: {speedup:.3f}"

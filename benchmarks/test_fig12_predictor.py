@@ -1,0 +1,30 @@
+"""Figure 12: register-type predictor accuracy breakdown.
+
+Paper's numbers for SPECfp: 3.1% of instructions reuse a register
+incorrectly (needing value recovery) and 2.28% miss a reuse opportunity;
+the overwhelming majority of predictions are correct.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import figure12
+
+
+def test_figure12(benchmark, scale):
+    result = run_once(benchmark, lambda: figure12(scale))
+    print("\n" + result.render())
+
+    for suite in ("specint", "specfp"):
+        breakdown = result.breakdown[suite]
+        assert abs(sum(breakdown.values()) - 1.0) < 1e-6
+
+        # incorrect reuses (the expensive class: repairs) stay rare
+        assert breakdown["reuse incorrect"] < 0.08, suite
+        # correct predictions dominate
+        assert result.accuracy(suite) > 0.55, suite
+        # correct reuses form a substantial share — the scheme's benefit
+        assert breakdown["reuse correct"] > 0.10, suite
+
+    # fp reuses more than int (more single-use values)
+    assert result.breakdown["specfp"]["reuse correct"] > \
+        result.breakdown["specint"]["reuse correct"]

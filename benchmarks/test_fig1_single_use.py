@@ -1,0 +1,31 @@
+"""Figure 1: single-consumer instruction fractions.
+
+Paper's claims: more than 50% of SPECfp instructions and more than 30% of
+SPECint instructions with a destination register are the only consumer of
+some value; a large share of those redefine the consumed register.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import figure1
+
+
+def test_figure1(benchmark, scale):
+    result = run_once(benchmark, lambda: figure1(scale))
+    print("\n" + result.render())
+
+    fp = result.suite_average("specfp")
+    si = result.suite_average("specint")
+    mc = result.suite_average("media+cog")
+
+    assert fp > 0.45, "SPECfp single-consumer fraction should exceed ~50%"
+    assert si > 0.30, "SPECint single-consumer fraction should exceed 30%"
+    assert fp > si, "fp exceeds int (the paper's headline ordering)"
+    assert mc > si, "media/cognitive behave like fp-heavy codes"
+
+    # redefine-same dominates redefine-other in every suite (chains are
+    # the common case, enabling the guaranteed-reuse path)
+    for suite, rows in result.series.items():
+        same = sum(r[1] for r in rows)
+        other = sum(r[2] for r in rows)
+        assert same > other, f"{suite}: chains should dominate"

@@ -1,0 +1,23 @@
+"""Figure 2: consumers-per-value histogram.
+
+Paper's claim: most values are consumed just once, and the distribution
+falls off monotonically with the consumer count; SPECfp is more single-use
+than SPECint.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import figure2
+
+
+def test_figure2(benchmark, scale):
+    result = run_once(benchmark, lambda: figure2(scale))
+    print("\n" + result.render())
+
+    for suite, histogram in result.histograms.items():
+        assert histogram[1] > 0.4, f"{suite}: 'one use' should dominate"
+        # monotone fall-off across the first buckets
+        assert histogram[1] > histogram[2] > histogram.get(3, 0.0)
+        assert sum(histogram.values()) > 0.99
+
+    assert result.single_use_fraction("specfp") > result.single_use_fraction("specint")

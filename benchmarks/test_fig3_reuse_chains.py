@@ -1,0 +1,31 @@
+"""Figure 3: reuse opportunity by allowed chain depth.
+
+Paper's SPECfp numbers: 32.3% / 12.3% / 5.9% of instructions can reuse a
+register at depth one / two / three, only 4.1% deeper; SPECint: 22% /
+5.2% / 2.3% / 1.2%.  We assert the orderings and the fp > int relation.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import figure3
+
+
+def test_figure3(benchmark, scale):
+    result = run_once(benchmark, lambda: figure3(scale))
+    print("\n" + result.render())
+
+    fp = result.suite_average("specfp")
+    si = result.suite_average("specint")
+
+    for suite_avg, name in ((fp, "specfp"), (si, "specint")):
+        assert suite_avg["one"] > suite_avg["two"] > suite_avg["three"], \
+            f"{name}: depth buckets must fall off"
+        assert suite_avg["more"] < suite_avg["one"], \
+            f"{name}: chains beyond four instructions are unusual"
+
+    # total reuse opportunity: fp > int, and in the paper's ballpark
+    fp_total = sum(fp.values())
+    int_total = sum(si.values())
+    assert fp_total > int_total
+    assert fp_total > 0.35  # paper: ~54% for SPECfp
+    assert int_total > 0.20  # paper: ~31% for SPECint

@@ -1,0 +1,29 @@
+"""Figure 9: shadow-cell demand coverage for SPECfp.
+
+Paper's use: pick the sizes of the 1/2/3-shadow banks so that the common
+case is covered — most sampled cycles need only a handful of registers
+with shadow cells, and demand falls steeply with the shadow count.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import figure9
+
+
+def test_figure9(benchmark, scale):
+    result = run_once(benchmark, lambda: figure9(scale))
+    print("\n" + result.render())
+
+    coverage = result.coverage
+    for point in (0.5, 0.9, 0.99):
+        # deeper shadow demand is rarer: 1-shadow >= 2-shadow >= 3-shadow
+        assert coverage[1][point] >= coverage[2][point] >= coverage[3][point]
+    for k in (1, 2, 3):
+        # coverage curves are monotone in the coverage target
+        values = [coverage[k][c] for c in sorted(coverage[k])]
+        assert values == sorted(values)
+
+    # the 90% point motivates Table III's small banks (single digits to
+    # low tens of registers, not hundreds)
+    assert coverage[1][0.9] <= 64
+    assert coverage[3][0.9] <= coverage[1][0.9]

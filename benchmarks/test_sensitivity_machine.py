@@ -1,0 +1,75 @@
+"""Sensitivity studies: does the scheme's benefit survive machine changes?
+
+The paper evaluates one 3-wide core (Table I).  A natural reviewer
+question is whether the equal-area win is an artefact of that design
+point, so we sweep (a) the pipeline width and (b) the branch predictor,
+and check that the sharing scheme never loses and keeps helping where the
+register file is the bottleneck.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.harness.runner import geomean
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import simulate
+from repro.workloads import BENCHMARKS, SyntheticWorkload
+
+NAMES = ("bwaves", "hmmer", "gmm")
+SIZE = 56
+
+
+def speedup(scale, name, **overrides):
+    ipcs = {}
+    for scheme in ("conventional", "sharing"):
+        workload = SyntheticWorkload(BENCHMARKS[name], total_insts=scale.insts)
+        config = MachineConfig(scheme=scheme, int_regs=128, fp_regs=SIZE,
+                               verify_values=False, **overrides)
+        ipcs[scheme] = simulate(config, iter(workload)).ipc
+    return ipcs["sharing"] / ipcs["conventional"]
+
+
+def test_width_sensitivity(benchmark, scale):
+    def sweep():
+        results = {}
+        for width in (2, 3, 4):
+            fu = {
+                "alu": (width, 1, True), "mul": (1, 3, True),
+                "div": (1, 12, False), "fpu": (max(1, width - 1), 4, True),
+                "fpdiv": (1, 16, False), "branch": (1, 1, True),
+                "mem": (2, 1, True),
+            }
+            speedups = [
+                speedup(scale, name, fetch_width=width, rename_width=width,
+                        issue_width=width + 1, commit_width=width,
+                        fu_config=fu)
+                for name in NAMES
+            ]
+            results[width] = geomean(speedups)
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    for width, value in results.items():
+        print(f"  {width}-wide: speedup {100 * (value - 1):+5.1f}%")
+    for width, value in results.items():
+        assert value > 0.97, f"{width}-wide: sharing should not lose"
+    # at least one width shows a clear benefit
+    assert max(results.values()) > 1.005
+
+
+def test_branch_predictor_sensitivity(benchmark, scale):
+    def sweep():
+        return {
+            kind: geomean([speedup(scale, name, branch_predictor=kind)
+                           for name in NAMES])
+            for kind in ("bimodal", "gshare", "tournament")
+        }
+
+    results = run_once(benchmark, sweep)
+    print()
+    for kind, value in results.items():
+        print(f"  {kind:10s}: speedup {100 * (value - 1):+5.1f}%")
+    for kind, value in results.items():
+        assert value > 0.97, f"{kind}: sharing should not lose"

@@ -1,0 +1,47 @@
+"""Sensitivity: window size (ROB) vs register-file pressure.
+
+The paper fixes a 128-entry ROB.  Register-file pressure exists exactly
+when the ROB can hold more in-flight destinations than the file can back;
+this bench sweeps the ROB and checks the expected interaction: with a
+tiny window the register file stops being the bottleneck and the sharing
+scheme's benefit fades; with the paper's window it appears.
+"""
+
+from conftest import run_once
+
+from repro.harness.runner import geomean
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import simulate
+from repro.workloads import BENCHMARKS, SyntheticWorkload
+
+NAMES = ("bwaves", "hmmer")
+SIZE = 56
+
+
+def speedup(name, rob, scale):
+    ipcs = {}
+    for scheme in ("conventional", "sharing"):
+        workload = SyntheticWorkload(BENCHMARKS[name], total_insts=scale.insts)
+        config = MachineConfig(scheme=scheme, int_regs=128, fp_regs=SIZE,
+                               rob_size=rob, verify_values=False)
+        ipcs[scheme] = simulate(config, iter(workload)).ipc
+    return ipcs["sharing"] / ipcs["conventional"]
+
+
+def test_rob_sensitivity(benchmark, scale):
+    def sweep():
+        return {rob: geomean([speedup(name, rob, scale) for name in NAMES])
+                for rob in (16, 64, 128, 256)}
+
+    results = run_once(benchmark, sweep)
+    print()
+    for rob, value in results.items():
+        print(f"  ROB {rob:4d}: speedup {100 * (value - 1):+5.1f}%")
+
+    # a 16-entry window cannot create register pressure at 56 registers:
+    # the benefit there is ~zero
+    assert abs(results[16] - 1.0) < 0.02
+    # the paper's window (or larger) shows the benefit
+    assert max(results[128], results[256]) >= results[16] - 0.005
+    # never a material loss anywhere
+    assert all(v > 0.97 for v in results.values())

@@ -1,0 +1,34 @@
+"""Simulator throughput: cycles and instructions simulated per second.
+
+A true timing benchmark (multiple rounds) so regressions in the cycle
+loop show up; the other benches are single-shot experiment drivers.
+"""
+
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import simulate
+from repro.workloads import BENCHMARKS, SyntheticWorkload
+
+
+def run_sim(scheme: str, verify: bool):
+    workload = SyntheticWorkload(BENCHMARKS["hmmer"], total_insts=3_000)
+    config = MachineConfig(scheme=scheme, int_regs=64, fp_regs=64,
+                           verify_values=verify)
+    return simulate(config, iter(workload))
+
+
+def test_throughput_conventional(benchmark):
+    stats = benchmark.pedantic(lambda: run_sim("conventional", False),
+                               rounds=3, iterations=1)
+    assert stats.committed == 3_000
+
+
+def test_throughput_sharing(benchmark):
+    stats = benchmark.pedantic(lambda: run_sim("sharing", False),
+                               rounds=3, iterations=1)
+    assert stats.committed == 3_000
+
+
+def test_throughput_with_verification(benchmark):
+    stats = benchmark.pedantic(lambda: run_sim("sharing", True),
+                               rounds=3, iterations=1)
+    assert stats.committed == 3_000

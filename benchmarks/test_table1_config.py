@@ -1,0 +1,37 @@
+"""Table I: system configuration."""
+
+from conftest import run_once
+
+from repro.harness.tables import table1
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.pipeline.config import MachineConfig, TABLE_I
+
+
+def test_table1_renders(benchmark):
+    text = run_once(benchmark, table1)
+    print("\n" + text)
+    assert "128 entries" in text  # ROB
+    assert "40 entries" in text  # issue queue
+    assert "DDR3 1600" in text
+
+
+def test_table1_machine_matches(benchmark):
+    """The default MachineConfig implements Table I."""
+
+    def build():
+        return MachineConfig(), MemoryHierarchy()
+
+    config, hierarchy = run_once(benchmark, build)
+    assert config.rob_size == 128
+    assert config.iq_size == 40
+    assert config.rename_width == 3
+    assert config.fetch_queue == 32
+    assert config.mispredict_penalty == 15
+    assert config.btb_entries == 2048
+    assert hierarchy.config.l1d_size == 32 * 1024 and hierarchy.config.l1d_assoc == 2
+    assert hierarchy.config.l1i_size == 48 * 1024 and hierarchy.config.l1i_assoc == 3
+    assert hierarchy.config.l2_size == 1024 * 1024 and hierarchy.config.l2_assoc == 16
+    assert hierarchy.config.l1d_latency == 1 and hierarchy.config.l2_latency == 12
+    assert hierarchy.tlb.entries == 48
+    assert hierarchy.dram.timings.tcas_ns == 13.75
+    assert TABLE_I["Prefetcher"]["Type"].startswith("Stride")

@@ -1,0 +1,26 @@
+"""Table II: area of the register files and the scheme's overheads."""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.tables import table2_result
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, table2_result)
+    print("\n" + result.render())
+    rows = result.rows
+
+    # paper's absolute numbers (the model is calibrated against them)
+    assert rows["Integer Register File (64-bit registers)"][1] == \
+        pytest.approx(0.2834, rel=0.01)
+    assert rows["Floating-point Register File (128-bit registers)"][1] == \
+        pytest.approx(0.4988, rel=0.01)
+    assert rows["PRT"][1] == pytest.approx(5.08e-4, rel=0.02)
+    assert rows["Issue Queue"][1] == pytest.approx(1.48e-3, rel=0.02)
+    assert rows["Register Predictor"][1] == pytest.approx(3.1e-3, rel=0.02)
+    assert result.total_overhead() == pytest.approx(5.085e-3, rel=0.02)
+
+    # the paper's qualitative point: overheads are small vs the RF
+    assert result.total_overhead() < 0.02 * rows[
+        "Integer Register File (64-bit registers)"][1] * 10

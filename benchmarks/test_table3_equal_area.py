@@ -1,0 +1,28 @@
+"""Table III: equal-area register-file configurations."""
+
+from conftest import run_once
+
+from repro.harness.tables import table3
+
+
+def test_table3(benchmark):
+    result = run_once(benchmark, table3)
+    print("\n" + result.render())
+    assert len(result.rows) == 7
+
+    for baseline, paper_banks, paper_util, derived_banks, derived_util in result.rows:
+        # the paper's rows are within budget (conservative under our model)
+        assert paper_util <= 1.0
+        # our derived configurations use the budget almost exactly
+        assert 0.97 <= derived_util <= 1.0
+        # both trade registers for shadow cells: fewer total registers
+        assert sum(paper_banks) < baseline
+        assert sum(derived_banks) < baseline
+        # shadow banks exist in every configuration
+        assert all(b > 0 for b in paper_banks[1:])
+        assert all(b > 0 for b in derived_banks[1:])
+
+    # shadow-bank sizes grow with the baseline then saturate (4 -> 6 -> 8)
+    shadow_sizes = [row[3][1] for row in result.rows]
+    assert shadow_sizes == sorted(shadow_sizes)
+    assert shadow_sizes[0] == 4 and shadow_sizes[-1] == 8

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""DNN layer inference (the paper's second cognitive workload).
+
+Runs a fully-connected layer with ReLU through the pipeline and shows how
+the register-type predictor learns the layer's reuse behaviour: the MAC
+chain's values are single-use, so their producers migrate into shadow-cell
+banks and get reused.
+
+Run:  python examples/dnn_layer.py
+"""
+
+from repro import MachineConfig
+from repro.frontend.fetch import IterSource
+from repro.isa.executor import FunctionalExecutor, run_to_completion
+from repro.pipeline.processor import Processor
+from repro.workloads.kernels import dnn_kernel
+
+
+def main() -> None:
+    kernel = dnn_kernel(in_dim=24, out_dim=12)
+    reference = run_to_completion(kernel.program, 2_000_000)
+    expected = kernel.expected(reference.mem)
+    active = sum(1 for v in expected["y"] if v > 0)
+    print(f"DNN layer: 24 -> 12, {active}/12 neurons active after ReLU\n")
+
+    config = MachineConfig(scheme="sharing", int_regs=64, fp_regs=64)
+    executor = FunctionalExecutor(kernel.program)
+    processor = Processor(config, IterSource(executor.run(2_000_000)))
+    stats = processor.run()
+
+    int_regs, fp_regs = processor.architectural_state()
+    assert fp_regs == reference.fp_regs and int_regs == reference.int_regs
+
+    renamer = stats.renamer_stats
+    predictor = stats.predictor_stats
+    print(f"committed instructions:  {stats.committed}")
+    print(f"IPC:                     {stats.ipc:.3f}")
+    print(f"register reuses:         {renamer.reuses} "
+          f"({100 * renamer.reuse_fraction:.1f}% of destination renames)")
+    print(f"  guaranteed (chains):   {renamer.reuses_guaranteed}")
+    print(f"  predicted single-use:  {renamer.reuses_predicted}")
+    print(f"allocations per bank:    {renamer.allocations_per_bank}")
+    print(f"single-use mispredicts:  {renamer.repairs} "
+          f"({renamer.repair_uops} repair micro-ops)")
+    print(f"predictor releases:      {predictor.releases} "
+          f"(exact hits {predictor.exact_hits})")
+
+    print("\nBank 0 holds multi-use values; banks 1-3 fill with the MAC")
+    print("chain's single-use values as the type predictor learns the")
+    print("layer's PCs — that is Figure 7's mechanism at work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: run one program under both renaming schemes.
+
+Assembles a small kernel in the toy ISA, executes it on the cycle-level
+out-of-order core with (a) conventional merged-RF renaming and (b) the
+paper's physical-register-sharing renaming at equal area, and prints the
+performance and reuse statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MachineConfig, assemble, simulate
+
+PROGRAM = """
+# dot product with a scaling chain: the r1-style single-use chains the
+# paper exploits (each fmul/fadd result has exactly one consumer)
+.data
+a:   .word 1.0 2.0 3.0 4.0 5.0 6.0 7.0 8.0
+b:   .word 0.5 1.5 2.5 3.5 4.5 5.5 6.5 7.5
+out: .zero 1
+
+.text
+main:   movi x1, a
+        movi x2, b
+        movi x3, 8          # elements
+        fli  f1, 0.0        # accumulator
+loop:   fld  f2, 0(x1)
+        fld  f3, 0(x2)
+        fmul f4, f2, f3     # single consumer: the fadd below
+        fadd f1, f1, f4
+        addi x1, x1, 8
+        addi x2, x2, 8
+        subi x3, x3, 1
+        bnez x3, loop
+        fli  f5, 0.25
+        fmul f1, f1, f5     # guaranteed reuse: redefines f1
+        movi x4, out
+        fst  f1, 0(x4)
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(PROGRAM)
+
+    print(f"{'scheme':14s} {'IPC':>6s} {'cycles':>7s} {'reuses':>7s} "
+          f"{'allocs':>7s} {'reuse%':>7s}")
+    for scheme in ("conventional", "sharing"):
+        config = MachineConfig(scheme=scheme, int_regs=48, fp_regs=48)
+        stats = simulate(config, program)
+        renamer = stats.renamer_stats
+        print(f"{scheme:14s} {stats.ipc:6.3f} {stats.cycles:7d} "
+              f"{renamer.reuses:7d} {renamer.allocations:7d} "
+              f"{100 * renamer.reuse_fraction:6.1f}%")
+
+    print("\nWith the sharing scheme, chained single-use values (the fmul")
+    print("feeding the fadd, and the f1 accumulator chain) share physical")
+    print("registers instead of allocating fresh ones.")
+
+
+if __name__ == "__main__":
+    main()

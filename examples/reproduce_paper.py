@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+This drives the same harness the benchmark suite uses.  By default it runs
+at the quick scale (representative benchmark subsets, short runs, a few
+minutes); set REPRO_SCALE=full for the full benchmark lists and longer
+simulations.
+
+Run:  python examples/reproduce_paper.py [fig1|...|headline] [--export results.json]
+
+``--export`` additionally writes every generated result as JSON
+(`repro.harness.export`) for plotting or regression tracking.
+"""
+
+import sys
+
+from repro.harness import (
+    Scale,
+    figure1,
+    figure2,
+    figure3,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    headline,
+    table1,
+    table2_result,
+    table3,
+)
+
+
+def main() -> None:
+    scale = Scale.from_env()
+    args = list(sys.argv[1:])
+    export_path = None
+    if "--export" in args:
+        position = args.index("--export")
+        export_path = args[position + 1]
+        del args[position:position + 2]
+    wanted = set(args) or {
+        "tables", "fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12",
+        "headline",
+    }
+    exported = {}
+
+    if "tables" in wanted:
+        print(table1(), "\n")
+        table2 = table2_result()
+        print(table2.render(), "\n")
+        table3_result = table3()
+        print(table3_result.render(), "\n")
+        exported["table2"] = table2
+        exported["table3"] = table3_result
+    for key, fn in (("fig1", figure1), ("fig2", figure2), ("fig3", figure3),
+                    ("fig9", figure9), ("fig11", figure11),
+                    ("fig12", figure12)):
+        if key in wanted:
+            result = fn(scale)
+            print(result.render(), "\n")
+            exported[key] = result
+    if "fig10" in wanted:
+        for suite in ("specfp", "specint", "media+cog"):
+            result = figure10(suite, scale)
+            print(result.render(), "\n")
+            exported[f"fig10_{suite}"] = result
+    if "headline" in wanted:
+        result = headline(scale)
+        print(result.render())
+        exported["headline"] = result
+
+    if export_path:
+        from repro.harness.export import export_results
+
+        export_results(exported, export_path)
+        print(f"\nexported {len(exported)} results to {export_path}")
+
+
+if __name__ == "__main__":
+    main()

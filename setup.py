@@ -1,0 +1,15 @@
+"""Legacy setup shim (the environment's setuptools predates PEP 660)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Register renaming with physical register sharing (HPCA 2018) — "
+        "full reproduction on a cycle-level out-of-order simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,51 @@
+"""repro — reproduction of "A Novel Register Renaming Technique for
+Out-of-Order Processors" (Tabani, Arnau, Tubella, González — HPCA 2018).
+
+Public API quickstart::
+
+    from repro import MachineConfig, simulate, assemble
+
+    program = assemble(open("kernel.s").read())
+    baseline = simulate(MachineConfig(scheme="conventional", int_regs=64), program)
+    proposed = simulate(MachineConfig(scheme="sharing", int_regs=64), program)
+    print(proposed.ipc / baseline.ipc)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.isa import (
+    DynInst,
+    FirstTouchFaults,
+    FunctionalExecutor,
+    Program,
+    RegClass,
+    RegRef,
+    assemble,
+)
+from repro.pipeline import MachineConfig, Processor, SimStats, simulate
+from repro.core import (
+    ConventionalRenamer,
+    RegisterFileConfig,
+    SharingRenamer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynInst",
+    "FirstTouchFaults",
+    "FunctionalExecutor",
+    "Program",
+    "RegClass",
+    "RegRef",
+    "assemble",
+    "MachineConfig",
+    "Processor",
+    "SimStats",
+    "simulate",
+    "ConventionalRenamer",
+    "RegisterFileConfig",
+    "SharingRenamer",
+    "__version__",
+]

@@ -1,0 +1,124 @@
+"""Consumer-count analysis over a dynamic instruction stream.
+
+Reproduces the measurements behind the paper's motivation:
+
+* **Figure 2** — per produced value, the number of consuming instructions
+  (one, two, ..., six-or-more);
+* **Figure 1** — the percentage of instructions *with a destination
+  register* that are the sole consumer of some value, split by whether
+  they redefine the consumed logical register (guaranteed last use) or a
+  different one (needs the single-use prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.isa.dyninst import DynInst
+from repro.isa.registers import RegRef
+
+
+@dataclass
+class _ValueRecord:
+    producer_seq: int
+    #: consumer entries: (consumer_seq, consumer_has_dest, redefines_same_reg)
+    consumers: list = field(default_factory=list)
+
+
+@dataclass
+class ConsumerAnalysis:
+    """Results of one stream analysis."""
+
+    total_insts: int = 0
+    dest_insts: int = 0
+    values_produced: int = 0
+    #: histogram over consumer counts; key 6 means "six or more", key 0 =
+    #: values never consumed inside the analysis window
+    consumer_histogram: dict = field(default_factory=dict)
+    #: Figure 1 categories (instruction counts)
+    single_use_redefine_same: int = 0
+    single_use_redefine_other: int = 0
+
+    # ---------------------------------------------------------------- Figure 2
+    def consumer_fractions(self, include_unconsumed: bool = False) -> dict:
+        """Fractions per consumer-count bucket (Figure 2 series)."""
+        histogram = dict(self.consumer_histogram)
+        if not include_unconsumed:
+            histogram.pop(0, None)
+        total = sum(histogram.values())
+        if not total:
+            return {}
+        return {k: v / total for k, v in sorted(histogram.items())}
+
+    @property
+    def single_use_value_fraction(self) -> float:
+        """Fraction of consumed values with exactly one consumer."""
+        fractions = self.consumer_fractions()
+        return fractions.get(1, 0.0)
+
+    # ---------------------------------------------------------------- Figure 1
+    @property
+    def single_consumer_inst_fraction(self) -> float:
+        """Fraction of dest-instructions that are sole consumer of a value."""
+        if not self.dest_insts:
+            return 0.0
+        hits = self.single_use_redefine_same + self.single_use_redefine_other
+        return hits / self.dest_insts
+
+    @property
+    def redefine_same_fraction(self) -> float:
+        return self.single_use_redefine_same / self.dest_insts if self.dest_insts else 0.0
+
+    @property
+    def redefine_other_fraction(self) -> float:
+        return self.single_use_redefine_other / self.dest_insts if self.dest_insts else 0.0
+
+
+def analyze_stream(stream: Iterable[DynInst]) -> ConsumerAnalysis:
+    """Run the consumer analysis over a dynamic instruction stream."""
+    result = ConsumerAnalysis()
+    live: dict[RegRef, _ValueRecord] = {}
+    finished: list[_ValueRecord] = []
+
+    for dyn in stream:
+        result.total_insts += 1
+        has_dest = dyn.dest is not None
+        seen: set[RegRef] = set()
+        for src in dyn.srcs:
+            if src in seen:
+                continue  # one instruction counts once per source value
+            seen.add(src)
+            record = live.get(src)
+            if record is not None:
+                record.consumers.append((dyn.seq, has_dest, src == dyn.dest))
+        if has_dest:
+            result.dest_insts += 1
+            old = live.pop(dyn.dest, None)
+            if old is not None:
+                finished.append(old)
+            live[dyn.dest] = _ValueRecord(dyn.seq)
+            result.values_produced += 1
+
+    finished.extend(live.values())
+
+    histogram: dict[int, int] = {}
+    sole_consumers: dict[int, bool] = {}  # consumer seq -> redefines_same
+    for record in finished:
+        count = min(len(record.consumers), 6)
+        histogram[count] = histogram.get(count, 0) + 1
+        if len(record.consumers) == 1:
+            consumer_seq, consumer_has_dest, redefines_same = record.consumers[0]
+            if consumer_has_dest:
+                # an instruction that is sole consumer of several values
+                # counts once; the guaranteed (redefine-same) case wins
+                previous = sole_consumers.get(consumer_seq, False)
+                sole_consumers[consumer_seq] = previous or redefines_same
+
+    result.consumer_histogram = histogram
+    for redefines_same in sole_consumers.values():
+        if redefines_same:
+            result.single_use_redefine_same += 1
+        else:
+            result.single_use_redefine_other += 1
+    return result

@@ -1,0 +1,33 @@
+"""Area modelling (the CACTI 6.5 stand-in) and equal-area configuration."""
+
+from repro.area.cacti_lite import (
+    register_file_area,
+    banked_rf_area,
+    shadow_cells_area,
+    prt_area,
+    issue_queue_overhead_area,
+    predictor_area,
+    total_overhead_area,
+    table2,
+)
+from repro.area.equal_area import (
+    baseline_area,
+    proposed_area,
+    equal_area_banks,
+    validate_table3,
+)
+
+__all__ = [
+    "register_file_area",
+    "banked_rf_area",
+    "shadow_cells_area",
+    "prt_area",
+    "issue_queue_overhead_area",
+    "predictor_area",
+    "total_overhead_area",
+    "table2",
+    "baseline_area",
+    "proposed_area",
+    "equal_area_banks",
+    "validate_table3",
+]

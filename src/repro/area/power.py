@@ -1,0 +1,129 @@
+"""Register-file energy model (extension).
+
+The paper motivates register-file pressure partly through energy:
+"increasing the size of the register file ... has important implications
+in terms of energy consumption, access time and area" (Section I).  This
+module extends CACTI-lite with a first-order energy model so the schemes
+can also be compared in energy per instruction:
+
+* dynamic energy per access grows with the word-line/bit-line lengths —
+  linear in the register count and in the bits per register, quadratic-ish
+  in ports (we reuse the area model's port-dependent cell size);
+* writing a shadow cell costs a fixed small increment (the paper's write
+  path stores the old value to the shadow cell in parallel);
+* leakage is proportional to area.
+
+Constants are representative of a 32 nm register file (CACTI-era numbers)
+and are *relative-accuracy* values: use this model to compare schemes at
+different sizes, not to predict absolute silicon power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.area.cacti_lite import READ_PORTS, WRITE_PORTS, bit_cell_area
+from repro.core.register_file import RegisterFileConfig
+
+#: energy per bit-cell-area unit swung on an access [pJ per µm² of cells
+#: on the selected row] — representative 32 nm scaling constant
+_E_PER_UM2 = 0.00215
+#: extra energy to latch one bit into a shadow cell [pJ]
+_E_SHADOW_BIT = 0.0006
+#: leakage power per mm² of register-file area [mW/mm²]
+_LEAKAGE_PER_MM2 = 18.0
+
+
+def access_energy(
+    num_regs: int,
+    bits: int = 64,
+    read_ports: int = READ_PORTS,
+    write_ports: int = WRITE_PORTS,
+) -> float:
+    """Dynamic energy of one read or write access, in pJ.
+
+    Word line selects one register's row (bits cells); bit lines span all
+    registers — modelled as the row energy plus a bit-line term linear in
+    the register count.
+    """
+    ports = read_ports + write_ports
+    row = bits * bit_cell_area(ports) * _E_PER_UM2
+    bitline = 0.02 * num_regs * bits * _E_PER_UM2
+    return row + bitline
+
+
+def shadow_write_energy(bits: int = 64) -> float:
+    """Extra energy of check-pointing the old value into a shadow cell, pJ."""
+    return bits * _E_SHADOW_BIT
+
+
+def leakage_power(area_mm2: float) -> float:
+    """Static power of a register file of the given area, in mW."""
+    return area_mm2 * _LEAKAGE_PER_MM2
+
+
+@dataclass
+class EnergyReport:
+    """Energy per committed instruction for one simulation."""
+
+    reads: int
+    writes: int
+    shadow_writes: int
+    committed: int
+    read_energy_pj: float
+    write_energy_pj: float
+    shadow_energy_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.read_energy_pj + self.write_energy_pj + self.shadow_energy_pj
+
+    @property
+    def pj_per_inst(self) -> float:
+        return self.total_pj / self.committed if self.committed else 0.0
+
+
+def energy_report(stats, num_regs: int, bits: int = 64) -> EnergyReport:
+    """Estimate register-file energy for a finished simulation.
+
+    ``stats`` is a :class:`~repro.pipeline.stats.SimStats`; reads are
+    approximated as two per issued instruction, writes as one per
+    destination rename, shadow writes as one per reuse (the overwritten
+    version is check-pointed).
+    """
+    renamer = stats.renamer_stats
+    reads = 2 * stats.issued
+    writes = renamer.dest_insts if renamer else 0
+    shadow_writes = renamer.reuses if renamer else 0
+    e_access = access_energy(num_regs, bits)
+    return EnergyReport(
+        reads=reads,
+        writes=writes,
+        shadow_writes=shadow_writes,
+        committed=stats.committed,
+        read_energy_pj=reads * e_access,
+        write_energy_pj=writes * e_access,
+        shadow_energy_pj=shadow_writes * shadow_write_energy(bits),
+    )
+
+
+def scheme_energy_comparison(baseline_stats, proposed_stats,
+                             baseline_regs: int,
+                             proposed_config: RegisterFileConfig,
+                             bits: int = 64) -> dict:
+    """Energy-per-instruction comparison at equal area.
+
+    The proposed register file has fewer (multi-ported) registers, so each
+    access swings shorter bit lines; shadow-cell check-pointing adds a
+    small write-side cost.
+    """
+    baseline = energy_report(baseline_stats, baseline_regs, bits)
+    proposed = energy_report(proposed_stats, proposed_config.total_regs, bits)
+    return {
+        "baseline_pj_per_inst": baseline.pj_per_inst,
+        "proposed_pj_per_inst": proposed.pj_per_inst,
+        "ratio": (proposed.pj_per_inst / baseline.pj_per_inst
+                  if baseline.pj_per_inst else 1.0),
+        "baseline": baseline,
+        "proposed": proposed,
+    }

@@ -1,0 +1,247 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro run PROGRAM.s [--scheme sharing] [--int-regs 64] ...
+    python -m repro bench NAME [--scheme ...] [--insts 20000] ...
+    python -m repro compare NAME [--sizes 48,64,96] [--insts 10000]
+    python -m repro figures [fig1 fig2 ... | all]
+    python -m repro kernels [--list | NAME]
+    python -m repro motivation NAME    # Figures 1-3 stats for one benchmark
+
+``run`` executes an assembly file through the timing pipeline; ``bench``
+runs one synthetic benchmark profile; ``compare`` sweeps register-file
+sizes for baseline vs proposed; ``figures`` regenerates the paper's
+tables/figures; ``motivation`` prints the dataflow analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import analyze_chains, analyze_stream
+from repro.harness.runner import Scale, class_sizes
+from repro.isa import assemble
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import simulate
+from repro.workloads import ALL_KERNELS as KERNELS
+from repro.workloads import BENCHMARKS, SyntheticWorkload
+
+
+def _machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheme", default="sharing",
+                        choices=["conventional", "sharing", "hinted", "early"])
+    parser.add_argument("--int-regs", type=int, default=64)
+    parser.add_argument("--fp-regs", type=int, default=64)
+    parser.add_argument("--counter-bits", type=int, default=2)
+    parser.add_argument("--no-verify", action="store_true",
+                        help="disable operand verification (faster)")
+    parser.add_argument("--detailed", action="store_true",
+                        help="print the full statistics report")
+    parser.add_argument("--wrong-path", action="store_true",
+                        help="model wrong-path speculation")
+
+
+def _config(args) -> MachineConfig:
+    return MachineConfig(
+        scheme=args.scheme,
+        int_regs=args.int_regs,
+        fp_regs=args.fp_regs,
+        counter_bits=args.counter_bits,
+        verify_values=not args.no_verify,
+        model_wrong_path=getattr(args, "wrong_path", False),
+    )
+
+
+def _print_stats(stats, detailed: bool = False) -> None:
+    if detailed:
+        print(stats.detailed_report())
+        return
+    print(stats.summary())
+    renamer = stats.renamer_stats
+    if renamer is not None and renamer.dest_insts:
+        print(f"register reuse    {renamer.reuses}/{renamer.dest_insts} "
+              f"({100 * renamer.reuse_fraction:.1f}%) "
+              f"[guaranteed {renamer.reuses_guaranteed}, "
+              f"predicted {renamer.reuses_predicted}]")
+        if renamer.repairs:
+            print(f"repairs           {renamer.repairs} "
+                  f"({renamer.repair_uops} micro-ops)")
+    if stats.branch_stats is not None and stats.branch_stats.branches:
+        print(f"branch accuracy   {100 * stats.branch_stats.accuracy:.1f}%")
+
+
+def _simulate_program(args, program, budget=10_000_000, max_insts=None):
+    """Run a program; the hinted scheme gets lookahead hint annotation."""
+    if args.scheme == "hinted":
+        from repro.frontend.fetch import IterSource
+        from repro.isa.executor import FunctionalExecutor
+        from repro.workloads.lookahead import annotate_hints
+
+        executor = FunctionalExecutor(program)
+        source = IterSource(annotate_hints(executor.run(budget)))
+        return simulate(_config(args), source, max_insts=max_insts)
+    return simulate(_config(args), program, max_insts=max_insts,
+                    program_budget=budget)
+
+
+def cmd_run(args) -> int:
+    with open(args.program) as handle:
+        program = assemble(handle.read())
+    stats = _simulate_program(args, program, max_insts=args.insts)
+    _print_stats(stats, args.detailed)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    if args.name not in BENCHMARKS:
+        print(f"unknown benchmark {args.name!r}; use one of: "
+              f"{', '.join(sorted(BENCHMARKS))}", file=sys.stderr)
+        return 1
+    workload = SyntheticWorkload(BENCHMARKS[args.name],
+                                 total_insts=args.insts, seed=args.seed)
+    stats = simulate(_config(args), iter(workload))
+    _print_stats(stats, args.detailed)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    if args.name not in BENCHMARKS:
+        print(f"unknown benchmark {args.name!r}", file=sys.stderr)
+        return 1
+    profile = BENCHMARKS[args.name]
+    sizes = [int(s) for s in args.sizes.split(",")]
+    print(f"{args.name} ({profile.suite}), {args.insts} instructions")
+    print(f"{'RF size':>8s} {'baseline':>9s} {'proposed':>9s} {'speedup':>8s}")
+    for size in sizes:
+        int_regs, fp_regs = class_sizes(profile, size)
+        ipcs = {}
+        for scheme in ("conventional", "sharing"):
+            config = MachineConfig(scheme=scheme, int_regs=int_regs,
+                                   fp_regs=fp_regs, verify_values=False)
+            workload = SyntheticWorkload(profile, total_insts=args.insts,
+                                         seed=args.seed)
+            ipcs[scheme] = simulate(config, iter(workload)).ipc
+        speedup = ipcs["sharing"] / ipcs["conventional"] - 1
+        print(f"{size:8d} {ipcs['conventional']:9.3f} {ipcs['sharing']:9.3f} "
+              f"{100 * speedup:+7.1f}%")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.harness import (figure1, figure2, figure3, figure9, figure10,
+                               figure11, figure12, headline, table1,
+                               table2_result, table3)
+    scale = Scale.from_env()
+    wanted = set(args.which) or {"all"}
+
+    def want(key):
+        return "all" in wanted or key in wanted
+
+    if want("tables"):
+        print(table1(), "\n")
+        print(table2_result().render(), "\n")
+        print(table3().render(), "\n")
+    for key, fn in (("fig1", figure1), ("fig2", figure2), ("fig3", figure3),
+                    ("fig9", figure9), ("fig11", figure11), ("fig12", figure12)):
+        if want(key):
+            print(fn(scale).render(), "\n")
+    if want("fig10"):
+        for suite in ("specfp", "specint", "media+cog"):
+            print(figure10(suite, scale).render(), "\n")
+    if want("headline"):
+        print(headline(scale).render())
+    return 0
+
+
+def cmd_kernels(args) -> int:
+    if args.list or not args.name:
+        print("available kernels:", ", ".join(sorted(KERNELS)))
+        return 0
+    if args.name not in KERNELS:
+        print(f"unknown kernel {args.name!r}", file=sys.stderr)
+        return 1
+    kernel = KERNELS[args.name]()
+    stats = _simulate_program(args, kernel.program, budget=2_000_000)
+    print(f"kernel {kernel.name}: ", end="")
+    _print_stats(stats, args.detailed)
+    return 0
+
+
+def cmd_motivation(args) -> int:
+    if args.name not in BENCHMARKS:
+        print(f"unknown benchmark {args.name!r}", file=sys.stderr)
+        return 1
+    profile = BENCHMARKS[args.name]
+    stream = list(SyntheticWorkload(profile, total_insts=args.insts,
+                                    seed=args.seed))
+    consumers = analyze_stream(iter(stream))
+    chains = analyze_chains(iter(stream))
+    series = chains.figure3_series()
+    print(f"{args.name} ({profile.suite}), {args.insts} instructions")
+    print(f"single-consumer values (Fig 2):        "
+          f"{100 * consumers.single_use_value_fraction:.1f}%")
+    print(f"single-consumer instructions (Fig 1):  "
+          f"{100 * consumers.single_consumer_inst_fraction:.1f}% "
+          f"(same {100 * consumers.redefine_same_fraction:.1f}% / "
+          f"other {100 * consumers.redefine_other_fraction:.1f}%)")
+    print(f"reuse chains (Fig 3): one {100 * series['one']:.1f}%  "
+          f"two {100 * series['two']:.1f}%  three {100 * series['three']:.1f}%  "
+          f"more {100 * series['more']:.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Register renaming with physical register "
+        "sharing (HPCA 2018) — reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate an assembly file")
+    p_run.add_argument("program")
+    p_run.add_argument("--insts", type=int, default=None)
+    _machine_args(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_bench = sub.add_parser("bench", help="run one benchmark profile")
+    p_bench.add_argument("name")
+    p_bench.add_argument("--insts", type=int, default=20_000)
+    p_bench.add_argument("--seed", type=int, default=1)
+    _machine_args(p_bench)
+    p_bench.set_defaults(fn=cmd_bench)
+
+    p_cmp = sub.add_parser("compare", help="baseline vs proposed sweep")
+    p_cmp.add_argument("name")
+    p_cmp.add_argument("--sizes", default="48,56,64,80,96")
+    p_cmp.add_argument("--insts", type=int, default=10_000)
+    p_cmp.add_argument("--seed", type=int, default=1)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_fig = sub.add_parser("figures", help="regenerate tables/figures")
+    p_fig.add_argument("which", nargs="*", default=[],
+                       help="tables fig1..fig12 headline (default: all)")
+    p_fig.set_defaults(fn=cmd_figures)
+
+    p_ker = sub.add_parser("kernels", help="run a real kernel")
+    p_ker.add_argument("name", nargs="?")
+    p_ker.add_argument("--list", action="store_true")
+    _machine_args(p_ker)
+    p_ker.set_defaults(fn=cmd_kernels)
+
+    p_mot = sub.add_parser("motivation", help="Figures 1-3 stats for a benchmark")
+    p_mot.add_argument("name")
+    p_mot.add_argument("--insts", type=int, default=10_000)
+    p_mot.add_argument("--seed", type=int, default=1)
+    p_mot.set_defaults(fn=cmd_motivation)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Free lists for the multi-bank register file."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.register_file import RegisterFileConfig
+
+
+class BankedFreeList:
+    """One free list per bank, with closest-bank fallback allocation.
+
+    Per Section IV-D: "If there are no free registers of the predicted
+    type, a register with the closest number of shadow cells will be
+    allocated."  Ties between equally distant banks are broken toward more
+    shadow cells (reuse opportunity is never lost by over-provisioning,
+    only by under-provisioning).
+    """
+
+    def __init__(self, config: RegisterFileConfig) -> None:
+        self.config = config
+        self._free: list[deque[int]] = [
+            deque(config.bank_range(bank)) for bank in range(config.num_banks)
+        ]
+        self._count = config.total_regs
+
+    # ------------------------------------------------------------------ queries
+    def free_count(self, bank: Optional[int] = None) -> int:
+        if bank is None:
+            return self._count
+        return len(self._free[bank])
+
+    def has_any(self) -> bool:
+        return any(self._free)
+
+    def fallback_order(self, bank: int) -> list[int]:
+        """Banks to try, preferred first."""
+        banks = range(self.config.num_banks)
+        return sorted(banks, key=lambda b: (abs(b - bank), -b))
+
+    # ------------------------------------------------------------------ alloc
+    def allocate(self, bank: int) -> Optional[tuple[int, int]]:
+        """Allocate preferring ``bank``; returns (phys, actual_bank) or None."""
+        for candidate in self.fallback_order(bank):
+            if self._free[candidate]:
+                self._count -= 1
+                return self._free[candidate].popleft(), candidate
+        return None
+
+    def release(self, phys: int) -> None:
+        bank = self.config.bank_of(phys)
+        if phys in self._free[bank]:
+            raise AssertionError(f"double free of p{phys}")
+        self._free[bank].append(phys)
+        self._count += 1
+
+    def rebuild(self, live: set[int]) -> None:
+        """Recovery: the free lists become exactly the non-live registers."""
+        for bank in range(self.config.num_banks):
+            self._free[bank] = deque(
+                phys for phys in self.config.bank_range(bank) if phys not in live
+            )
+        self._count = sum(len(q) for q in self._free)
+
+    def contains(self, phys: int) -> bool:
+        return phys in self._free[self.config.bank_of(phys)]

@@ -1,0 +1,118 @@
+"""Multi-bank register file with shadow cells.
+
+The paper's register file (Section IV-C, Figure 5) is split into four
+banks: a conventional bank (no shadow cells) and banks whose registers
+embed one, two or three shadow cells.  A register in an *n*-shadow bank can
+hold up to *n+1* versions simultaneously: the newest in the directly
+accessible main cells, older ones in the port-independent shadow cells.
+
+In simulation we store every live ``(physical register, version)`` value so
+that (a) issue-time operand verification can check that renaming never
+corrupts dataflow, and (b) precise-exception recovery can restore older
+versions exactly as the shadow-cell hardware would.  Capacity constraints
+(a register can only be reused while it has free shadow cells) are enforced
+by the renamer at rename time, mirroring the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+Value = Union[int, float]
+
+
+@dataclass(frozen=True)
+class RegisterFileConfig:
+    """Sizes of the four banks, ordered by shadow-cell count (0,1,2,3).
+
+    The baseline configuration is expressed as a single conventional bank:
+    ``RegisterFileConfig.flat(n)``.
+    """
+
+    bank_sizes: tuple[int, ...] = (28, 4, 4, 4)
+
+    @staticmethod
+    def flat(num_regs: int) -> "RegisterFileConfig":
+        return RegisterFileConfig(bank_sizes=(num_regs,))
+
+    @property
+    def total_regs(self) -> int:
+        return sum(self.bank_sizes)
+
+    @property
+    def num_banks(self) -> int:
+        return len(self.bank_sizes)
+
+    def shadow_cells_of_bank(self, bank: int) -> int:
+        return bank  # bank index == number of shadow cells by construction
+
+    def bank_of(self, phys: int) -> int:
+        if phys < 0:
+            raise ValueError(f"negative physical register {phys}")
+        upper = 0
+        for bank, size in enumerate(self.bank_sizes):
+            upper += size
+            if phys < upper:
+                return bank
+        raise ValueError(f"physical register {phys} out of range")
+
+    def shadow_cells_of(self, phys: int) -> int:
+        return self.shadow_cells_of_bank(self.bank_of(phys))
+
+    def bank_range(self, bank: int) -> range:
+        start = sum(self.bank_sizes[:bank])
+        return range(start, start + self.bank_sizes[bank])
+
+    @property
+    def total_shadow_cells(self) -> int:
+        return sum(bank * size for bank, size in enumerate(self.bank_sizes))
+
+
+class BankedRegisterFile:
+    """Value storage for one register class (INT or FP).
+
+    Values are keyed by ``(phys, version)``; negative ``phys`` ids are the
+    auxiliary registers used by single-use-misprediction repair micro-ops
+    (paper Figure 8) and have no capacity constraint.
+    """
+
+    def __init__(self, config: RegisterFileConfig) -> None:
+        self.config = config
+        self._values: dict[tuple[int, int], Value] = {}
+
+    def write(self, phys: int, version: int, value: Value) -> None:
+        if phys >= 0:
+            capacity = self.config.shadow_cells_of(phys) + 1
+            if version >= capacity:
+                raise AssertionError(
+                    f"write of version {version} exceeds capacity {capacity} of p{phys}"
+                )
+        self._values[(phys, version)] = value
+
+    def read(self, phys: int, version: int) -> Value:
+        try:
+            return self._values[(phys, version)]
+        except KeyError:
+            raise AssertionError(f"read of unwritten register p{phys}.{version}") from None
+
+    def has(self, phys: int, version: int) -> bool:
+        return (phys, version) in self._values
+
+    def drop_register(self, phys: int) -> None:
+        """Free all versions of ``phys`` (called when the register is released)."""
+        for key in [k for k in self._values if k[0] == phys]:
+            del self._values[key]
+
+    def drop_above(self, phys: int, version: int) -> None:
+        """Discard squashed speculative versions newer than ``version``."""
+        for key in [k for k in self._values if k[0] == phys and k[1] > version]:
+            del self._values[key]
+
+    def live_version_counts(self) -> dict[int, int]:
+        """Map phys -> number of live versions (for Figure 9 demand sampling)."""
+        counts: dict[int, int] = {}
+        for phys, _version in self._values:
+            if phys >= 0:
+                counts[phys] = counts.get(phys, 0) + 1
+        return counts

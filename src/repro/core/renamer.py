@@ -1,0 +1,127 @@
+"""Common renamer interface and statistics.
+
+The pipeline is scheme-agnostic: it talks to a :class:`BaseRenamer` for
+renaming, commit-time release, precise-state recovery and register-file
+value access.  Rename tags are ``(register class, physical register id,
+version)``; the conventional scheme always uses version 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.isa.dyninst import DynInst
+from repro.isa.registers import RegClass
+
+#: Global rename tag: (register class value, physical register id, version).
+Tag = tuple[int, int, int]
+
+Value = Union[int, float]
+
+#: Scoreboard readiness callback provided by the pipeline.
+ReadyFn = Callable[[Tag], bool]
+
+
+@dataclass
+class RenameStats:
+    """Counters shared by both schemes (sharing-specific ones stay zero
+    for the conventional renamer)."""
+
+    insts: int = 0
+    dest_insts: int = 0
+    allocations: int = 0
+    allocations_per_bank: list = field(default_factory=lambda: [0, 0, 0, 0])
+    fallback_allocations: int = 0  # predicted bank was empty
+    reuses: int = 0
+    reuses_guaranteed: int = 0  # consumer redefines the single-use register
+    reuses_predicted: int = 0  # consumer relied on the single-use prediction
+    lost_reuse_no_shadow: int = 0
+    lost_reuse_saturated: int = 0
+    lost_reuse_not_first_use: int = 0
+    lost_reuse_not_predicted: int = 0  # single-use predictor said no
+    repairs: int = 0  # single-use mispredictions needing value evacuation
+    repair_uops: int = 0
+    multi_use_detected: int = 0  # second consumer seen on a shadow-bank register
+    releases: int = 0
+    recoveries: int = 0
+    recovered_map_entries: int = 0
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of destination renames that avoided an allocation."""
+        return self.reuses / self.dest_insts if self.dest_insts else 0.0
+
+
+class BaseRenamer:
+    """Interface implemented by all renaming schemes."""
+
+    stats: RenameStats
+
+    #: set by schemes that need per-operand read notifications (the
+    #: early-release comparator tracks pending reads)
+    tracks_operand_reads = False
+
+    def on_operand_read(self, tag: Tag) -> None:
+        """Pipeline hook: a consumer read this operand at issue."""
+
+    # --- capacity ------------------------------------------------------------
+    def uops_needed(self, dyn: DynInst, is_ready: ReadyFn) -> int:
+        """Repair micro-ops that renaming ``dyn`` would inject (0 if none)."""
+        return 0
+
+    def can_rename(self, dyn: DynInst) -> bool:
+        """True when ``dyn`` can be renamed now (registers available/reusable)."""
+        raise NotImplementedError
+
+    # --- the rename itself -----------------------------------------------------
+    def rename(self, dyn: DynInst, is_ready: ReadyFn) -> list[DynInst]:
+        """Rename ``dyn``; returns injected repair micro-ops followed by ``dyn``."""
+        raise NotImplementedError
+
+    # --- commit / recovery -------------------------------------------------------
+    def commit(self, dyn: DynInst) -> None:
+        """Retirement-map update and physical register release."""
+        raise NotImplementedError
+
+    def recover(self) -> int:
+        """Squash all speculative rename state; restore precise state.
+
+        Returns the number of map entries that differed (each requires a
+        shadow-cell recover command; the pipeline converts this into
+        cycles).
+        """
+        raise NotImplementedError
+
+    def squash_to(self, squashed: list[DynInst]) -> int:
+        """Branch-misprediction walk-back: undo the renames of ``squashed``
+        (youngest first), restoring the map to the branch's point.
+
+        Returns the number of shadow-cell restores performed (reused
+        registers rolled back a version); the pipeline converts this into
+        recovery cycles.  Schemes that cannot roll back raise.
+        """
+        raise NotImplementedError(f"{type(self).__name__} cannot walk back")
+
+    # --- register file values ------------------------------------------------------
+    def write(self, tag: Tag, value: Value) -> None:
+        raise NotImplementedError
+
+    def read(self, tag: Tag) -> Value:
+        raise NotImplementedError
+
+    # --- setup / introspection --------------------------------------------------------
+    def initial_tags(self) -> list[tuple[Tag, Value]]:
+        """Initial (tag, value) pairs for the committed architectural state."""
+        raise NotImplementedError
+
+    def committed_tag(self, ref) -> Tag:
+        """Retirement-map tag of a logical register (for state verification)."""
+        raise NotImplementedError
+
+    def free_registers(self, cls: RegClass) -> int:
+        raise NotImplementedError
+
+    def live_version_histogram(self) -> dict[int, int]:
+        """Histogram: versions-live-per-register -> count (Figure 9 sampling)."""
+        return {}

@@ -1,0 +1,23 @@
+"""Front-end substrate: branch prediction and instruction fetch."""
+
+from repro.frontend.branch_predictor import (
+    BimodalPredictor,
+    GSharePredictor,
+    TournamentPredictor,
+    BranchTargetBuffer,
+    ReturnAddressStack,
+    BranchUnit,
+)
+from repro.frontend.fetch import FetchUnit, InstSource, IterSource
+
+__all__ = [
+    "BimodalPredictor",
+    "GSharePredictor",
+    "TournamentPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "BranchUnit",
+    "FetchUnit",
+    "InstSource",
+    "IterSource",
+]

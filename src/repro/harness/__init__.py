@@ -1,0 +1,44 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each ``figure*``/``table*`` function runs the required simulations and
+returns a structured result object with a ``render()`` method producing
+the same rows/series the paper reports.  The benchmark suite
+(``benchmarks/``) drives these and asserts the reproduced *shape*; the
+``examples/`` scripts show interactive use.
+
+Scale is controlled by :class:`~repro.harness.runner.Scale`: the default
+``quick`` scale uses representative benchmark subsets and short runs so
+the full harness finishes in minutes; ``Scale.full()`` runs every
+benchmark.
+"""
+
+from repro.harness.runner import Scale, run_point, run_pair, sweep_speedups
+from repro.harness.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+)
+from repro.harness.tables import table1, table2_result, table3
+from repro.harness.headline import headline
+
+__all__ = [
+    "Scale",
+    "run_point",
+    "run_pair",
+    "sweep_speedups",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "table1",
+    "table2_result",
+    "table3",
+    "headline",
+]

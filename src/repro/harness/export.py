@@ -1,0 +1,66 @@
+"""Machine-readable export of experiment results.
+
+Every figure/table result object renders to text for humans; this module
+serialises the same data to JSON so downstream tooling (plotting,
+regression tracking across simulator versions) can consume it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any
+
+
+def _jsonable(value: Any) -> Any:
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def result_to_dict(result: Any) -> dict:
+    """Serialise a harness result object (dataclass) to plain dicts."""
+    payload = _jsonable(result)
+    if not isinstance(payload, dict):
+        raise TypeError(f"cannot export {type(result).__name__}")
+    payload["_type"] = type(result).__name__
+    return payload
+
+
+def export_results(results: dict[str, Any], path: str) -> None:
+    """Write a {name: result} mapping as one JSON document."""
+    document = {name: result_to_dict(result) for name, result in results.items()}
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+
+
+def load_results(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare_speedup_exports(old: dict, new: dict, tolerance: float = 0.05):
+    """Regression check between two exported Figure-10 results.
+
+    Returns a list of (benchmark, size, old speedup, new speedup) rows
+    whose speedups moved by more than ``tolerance``.
+    """
+    regressions = []
+    old_rows = {row["benchmark"]: row["speedups"] for row in old.get("rows", [])}
+    for row in new.get("rows", []):
+        benchmark = row["benchmark"]
+        if benchmark not in old_rows:
+            continue
+        for size, new_speedup in row["speedups"].items():
+            old_speedup = old_rows[benchmark].get(size)
+            if old_speedup is None:
+                continue
+            if abs(new_speedup - old_speedup) > tolerance:
+                regressions.append((benchmark, size, old_speedup, new_speedup))
+    return regressions

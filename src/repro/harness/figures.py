@@ -1,0 +1,313 @@
+"""Figure reproductions.
+
+Every function returns a result object whose ``render()`` produces the
+figure's rows/series as text.  Figure numbering follows the paper:
+
+* Figure 1  — single-consumer instruction fractions (redefine-same vs other)
+* Figure 2  — consumers-per-value histogram
+* Figure 3  — reuse-chain buckets (one/two/three/more)
+* Figure 9  — shadow-cell demand coverage
+* Figure 10 — per-benchmark speedups vs register-file size (a: fp, b: int,
+  c: mediabench+cognitive)
+* Figure 11 — average IPC vs register-file size, both schemes
+* Figure 12 — register-type predictor accuracy breakdown
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import analyze_chains, analyze_stream, measure_shadow_demand
+from repro.harness.render import pct, text_table
+from repro.harness.runner import Scale, geomean, run_point, sweep_speedups
+from repro.workloads.generator import SyntheticWorkload
+
+_SUITE_LABELS = {
+    "specint": "SPECint",
+    "specfp": "SPECfp",
+    "media+cog": "Mediabench and Cognitive",
+}
+
+
+def _suite_profiles(scale: Scale, key: str):
+    if key == "media+cog":
+        return scale.profiles("mediabench") + scale.profiles("cognitive")
+    return scale.profiles(key)
+
+
+# ====================================================================== Fig 1
+@dataclass
+class Figure1Result:
+    #: suite -> list of (benchmark, redefine_same, redefine_other)
+    series: dict = field(default_factory=dict)
+
+    def suite_average(self, suite: str) -> float:
+        rows = self.series[suite]
+        return sum(same + other for _b, same, other in rows) / len(rows)
+
+    def render(self) -> str:
+        blocks = []
+        for suite, rows in self.series.items():
+            table_rows = [[b, pct(same), pct(other), pct(same + other)]
+                          for b, same, other in rows]
+            average = self.suite_average(suite)
+            table_rows.append(["average", "", "", pct(average)])
+            blocks.append(text_table(
+                ["benchmark", "redefine same", "redefine other", "total"],
+                table_rows,
+                title=f"Figure 1 ({_SUITE_LABELS[suite]}): single-consumer "
+                      f"instructions",
+            ))
+        return "\n\n".join(blocks)
+
+
+def figure1(scale: Scale | None = None) -> Figure1Result:
+    scale = scale or Scale.from_env()
+    result = Figure1Result()
+    for suite in ("specint", "specfp", "media+cog"):
+        rows = []
+        for profile in _suite_profiles(scale, suite):
+            analysis = analyze_stream(
+                iter(SyntheticWorkload(profile, scale.insts, scale.seed)))
+            rows.append((profile.name, analysis.redefine_same_fraction,
+                         analysis.redefine_other_fraction))
+        result.series[suite] = rows
+    return result
+
+
+# ====================================================================== Fig 2
+@dataclass
+class Figure2Result:
+    #: suite -> averaged {consumer count -> fraction}
+    histograms: dict = field(default_factory=dict)
+
+    def single_use_fraction(self, suite: str) -> float:
+        return self.histograms[suite].get(1, 0.0)
+
+    def render(self) -> str:
+        buckets = [1, 2, 3, 4, 5, 6]
+        rows = []
+        for suite, histogram in self.histograms.items():
+            rows.append([_SUITE_LABELS[suite]] +
+                        [pct(histogram.get(b, 0.0)) for b in buckets])
+        return text_table(
+            ["suite", "one", "two", "three", "four", "five", "6 or more"],
+            rows, title="Figure 2: consumers per produced value")
+
+
+def figure2(scale: Scale | None = None) -> Figure2Result:
+    scale = scale or Scale.from_env()
+    result = Figure2Result()
+    for suite in ("specint", "specfp", "media+cog"):
+        profiles = _suite_profiles(scale, suite)
+        accumulated: dict[int, float] = {}
+        for profile in profiles:
+            analysis = analyze_stream(
+                iter(SyntheticWorkload(profile, scale.insts, scale.seed)))
+            for bucket, fraction in analysis.consumer_fractions().items():
+                accumulated[bucket] = accumulated.get(bucket, 0.0) + fraction
+        result.histograms[suite] = {
+            b: v / len(profiles) for b, v in accumulated.items()
+        }
+    return result
+
+
+# ====================================================================== Fig 3
+@dataclass
+class Figure3Result:
+    #: suite -> list of (benchmark, {one,two,three,more})
+    series: dict = field(default_factory=dict)
+
+    def suite_average(self, suite: str) -> dict:
+        rows = self.series[suite]
+        keys = ("one", "two", "three", "more")
+        return {k: sum(s[k] for _b, s in rows) / len(rows) for k in keys}
+
+    def render(self) -> str:
+        blocks = []
+        for suite, rows in self.series.items():
+            table_rows = [
+                [b, pct(s["one"]), pct(s["two"]), pct(s["three"]), pct(s["more"])]
+                for b, s in rows
+            ]
+            avg = self.suite_average(suite)
+            table_rows.append(["average"] + [pct(avg[k]) for k in
+                                             ("one", "two", "three", "more")])
+            blocks.append(text_table(
+                ["benchmark", "one reuse", "two reuses", "three reuses", "more"],
+                table_rows,
+                title=f"Figure 3 ({_SUITE_LABELS[suite]}): reusable "
+                      f"destination renames by chain depth"))
+        return "\n\n".join(blocks)
+
+
+def figure3(scale: Scale | None = None) -> Figure3Result:
+    scale = scale or Scale.from_env()
+    result = Figure3Result()
+    for suite in ("specint", "specfp", "media+cog"):
+        rows = []
+        for profile in _suite_profiles(scale, suite):
+            chains = analyze_chains(
+                iter(SyntheticWorkload(profile, scale.insts, scale.seed)))
+            rows.append((profile.name, chains.figure3_series()))
+        result.series[suite] = rows
+    return result
+
+
+# ====================================================================== Fig 9
+@dataclass
+class Figure9Result:
+    #: shadow cells (1..3) -> {coverage -> registers needed}
+    coverage: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        coverages = sorted(next(iter(self.coverage.values())).keys())
+        rows = [[f"{k} shadow cell(s)"] +
+                [str(self.coverage[k][c]) for c in coverages]
+                for k in sorted(self.coverage)]
+        return text_table(
+            ["registers with"] + [pct(c, 0) + " of time" for c in coverages],
+            rows,
+            title="Figure 9: registers with shadow cells needed to cover "
+                  "SPECfp execution")
+
+
+def figure9(scale: Scale | None = None) -> Figure9Result:
+    scale = scale or Scale.from_env()
+    profiles = scale.profiles("specfp")[:4]
+    merged = {1: [], 2: [], 3: []}
+    for profile in profiles:
+        workload = list(SyntheticWorkload(profile, scale.insts, scale.seed))
+        demand = measure_shadow_demand(workload, total_regs=192)
+        for k in (1, 2, 3):
+            merged[k].extend(demand.samples[k])
+    result = Figure9Result()
+    coverages = (0.5, 0.75, 0.9, 0.95, 0.99)
+    for k in (1, 2, 3):
+        data = sorted(merged[k])
+        result.coverage[k] = {
+            c: (data[min(len(data) - 1, int(c * len(data)))] if data else 0)
+            for c in coverages
+        }
+    return result
+
+
+# ====================================================================== Fig 10
+@dataclass
+class Figure10Result:
+    suite: str
+    sizes: tuple
+    rows: list = field(default_factory=list)  # SpeedupRow
+
+    def average(self, size: int) -> float:
+        return geomean(row.speedups[size] for row in self.rows)
+
+    def render(self) -> str:
+        table_rows = [
+            [row.benchmark] + [pct(row.speedups[s] - 1.0) for s in self.sizes]
+            for row in self.rows
+        ]
+        table_rows.append(
+            ["average"] + [pct(self.average(s) - 1.0) for s in self.sizes])
+        return text_table(
+            ["benchmark"] + [f"RF {s}" for s in self.sizes], table_rows,
+            title=f"Figure 10 ({_SUITE_LABELS.get(self.suite, self.suite)}): "
+                  f"speedup over the baseline at equal area")
+
+
+def figure10(suite: str, scale: Scale | None = None) -> Figure10Result:
+    scale = scale or Scale.from_env()
+    profiles = _suite_profiles(scale, suite)
+    rows = sweep_speedups(profiles, scale)
+    return Figure10Result(suite=suite, sizes=scale.sizes, rows=rows)
+
+
+# ====================================================================== Fig 11
+@dataclass
+class Figure11Result:
+    sizes: tuple
+    baseline_ipc: dict = field(default_factory=dict)
+    proposed_ipc: dict = field(default_factory=dict)
+
+    def iso_ipc_saving(self) -> float:
+        """Register saving: smallest proposed size matching each baseline
+        size's IPC, averaged (the paper's 10.5% claim)."""
+        savings = []
+        sizes = sorted(self.sizes)
+        for baseline_size in sizes[1:]:
+            target = self.baseline_ipc[baseline_size]
+            for proposed_size in sizes:
+                if self.proposed_ipc[proposed_size] >= target * 0.995:
+                    if proposed_size < baseline_size:
+                        savings.append(1.0 - proposed_size / baseline_size)
+                    else:
+                        savings.append(0.0)
+                    break
+        return sum(savings) / len(savings) if savings else 0.0
+
+    def render(self) -> str:
+        rows = [
+            [s, f"{self.baseline_ipc[s]:.3f}", f"{self.proposed_ipc[s]:.3f}"]
+            for s in self.sizes
+        ]
+        table = text_table(["registers", "baseline IPC", "proposed IPC"], rows,
+                           title="Figure 11: average IPC vs register file size")
+        return table + f"\niso-IPC register saving: {pct(self.iso_ipc_saving())}"
+
+
+def figure11(scale: Scale | None = None) -> Figure11Result:
+    scale = scale or Scale.from_env()
+    profiles = scale.profiles("specint") + scale.profiles("specfp")
+    result = Figure11Result(sizes=scale.sizes)
+    for size in scale.sizes:
+        base, prop = [], []
+        for profile in profiles:
+            baseline = run_point(profile, "conventional", size, scale)
+            proposed = run_point(profile, "sharing", size, scale)
+            base.append(baseline.ipc)
+            prop.append(proposed.ipc)
+        result.baseline_ipc[size] = sum(base) / len(base)
+        result.proposed_ipc[size] = sum(prop) / len(prop)
+    return result
+
+
+# ====================================================================== Fig 12
+@dataclass
+class Figure12Result:
+    #: suite -> {category -> fraction of releases}
+    breakdown: dict = field(default_factory=dict)
+
+    def accuracy(self, suite: str) -> float:
+        b = self.breakdown[suite]
+        return b["reuse correct"] + b["no reuse correct"] + b["reuse unused"]
+
+    def render(self) -> str:
+        categories = ["reuse correct", "reuse incorrect", "no reuse correct",
+                      "no reuse incorrect", "reuse unused"]
+        rows = [[_SUITE_LABELS[suite]] + [pct(b[c]) for c in categories]
+                for suite, b in self.breakdown.items()]
+        return text_table(["suite"] + categories, rows,
+                          title="Figure 12: register-type predictor accuracy")
+
+
+def figure12(scale: Scale | None = None, size: int = 64) -> Figure12Result:
+    scale = scale or Scale.from_env()
+    result = Figure12Result()
+    for suite in ("specint", "specfp"):
+        totals = {"reuse correct": 0, "reuse incorrect": 0,
+                  "no reuse correct": 0, "no reuse incorrect": 0,
+                  "reuse unused": 0}
+        releases = 0
+        for profile in _suite_profiles(scale, suite):
+            stats = run_point(profile, "sharing", size, scale)
+            p = stats.predictor_stats
+            totals["reuse correct"] += p.reuse_correct
+            totals["reuse incorrect"] += p.reuse_incorrect
+            totals["no reuse correct"] += p.no_reuse_correct
+            totals["no reuse incorrect"] += p.no_reuse_incorrect
+            totals["reuse unused"] += p.reuse_unused
+            releases += p.releases
+        result.breakdown[suite] = {
+            k: v / releases if releases else 0.0 for k, v in totals.items()
+        }
+    return result

@@ -1,0 +1,24 @@
+"""Plain-text rendering helpers for experiment results."""
+
+from __future__ import annotations
+
+
+def text_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render a simple aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pct(value: float, digits: int = 1) -> str:
+    return f"{100 * value:.{digits}f}%"

@@ -1,0 +1,115 @@
+"""Simulation driving for the experiment harness."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import simulate
+from repro.pipeline.stats import SimStats
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.profiles import BENCHMARKS, WorkloadProfile, suite
+
+#: Register-file sizes swept in Figures 10 and 11 (paper: 48..112).
+RF_SIZES = (48, 56, 64, 80, 96)
+
+#: representative subsets used at the quick scale
+_QUICK = {
+    "specint": ["gcc", "mcf", "hmmer", "libquantum", "gobmk", "astar"],
+    "specfp": ["bwaves", "milc", "lbm", "namd", "soplex", "GemsFDTD"],
+    "mediabench": ["jpeg", "adpcm", "gsm", "epic"],
+    "cognitive": ["gmm", "dnn"],
+}
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How much work an experiment does."""
+
+    insts: int = 8_000
+    benchmarks_per_suite: int | None = 6  # None = all
+    sizes: tuple[int, ...] = RF_SIZES
+    seed: int = 1
+    seeds: tuple[int, ...] = (1,)  # speedup sweeps average across these
+
+    @staticmethod
+    def quick() -> "Scale":
+        return Scale()
+
+    @staticmethod
+    def full() -> "Scale":
+        return Scale(insts=40_000, benchmarks_per_suite=None,
+                     sizes=(48, 56, 64, 72, 80, 96, 112), seeds=(1, 2, 3))
+
+    @staticmethod
+    def from_env() -> "Scale":
+        return Scale.full() if os.environ.get("REPRO_SCALE") == "full" else Scale.quick()
+
+    def profiles(self, suite_name: str) -> list[WorkloadProfile]:
+        if self.benchmarks_per_suite is None:
+            return suite(suite_name)
+        names = _QUICK[suite_name][: self.benchmarks_per_suite]
+        return [BENCHMARKS[n] for n in names]
+
+
+def class_sizes(profile: WorkloadProfile, size: int) -> tuple[int, int]:
+    """Which register file is under study (paper Section VI-B).
+
+    Integer benchmarks sweep the integer file with an ample fp file and
+    vice versa; the decoupled files make the other class irrelevant.
+    """
+    if profile.fp_frac >= 0.25:
+        return 128, size
+    return size, 128
+
+
+def make_config(profile: WorkloadProfile, scheme: str, size: int) -> MachineConfig:
+    int_regs, fp_regs = class_sizes(profile, size)
+    return MachineConfig(scheme=scheme, int_regs=int_regs, fp_regs=fp_regs,
+                         verify_values=False)
+
+
+def run_point(profile: WorkloadProfile, scheme: str, size: int,
+              scale: Scale, seed: int | None = None) -> SimStats:
+    """One simulation: benchmark x scheme x register-file size."""
+    workload = SyntheticWorkload(profile, total_insts=scale.insts,
+                                 seed=seed if seed is not None else scale.seed)
+    return simulate(make_config(profile, scheme, size), iter(workload))
+
+
+def run_pair(profile: WorkloadProfile, size: int, scale: Scale,
+             seed: int | None = None) -> tuple[SimStats, SimStats]:
+    """(baseline, proposed) at equal area, on the identical workload."""
+    return (run_point(profile, "conventional", size, scale, seed),
+            run_point(profile, "sharing", size, scale, seed))
+
+
+@dataclass
+class SpeedupRow:
+    benchmark: str
+    speedups: dict  # size -> proposed IPC / baseline IPC
+
+
+def sweep_speedups(profiles, scale: Scale) -> list[SpeedupRow]:
+    rows = []
+    for profile in profiles:
+        speedups = {}
+        for size in scale.sizes:
+            ratios = []
+            for seed in scale.seeds:
+                baseline, proposed = run_pair(profile, size, scale, seed)
+                ratios.append(proposed.ipc / baseline.ipc if baseline.ipc else 1.0)
+            speedups[size] = geomean(ratios)
+        rows.append(SpeedupRow(profile.name, speedups))
+    return rows
+
+
+def geomean(values) -> float:
+    values = list(values)
+    if not values:
+        return 1.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

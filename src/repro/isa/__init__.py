@@ -1,0 +1,50 @@
+"""Toy RISC ISA used by the simulator.
+
+The ISA is deliberately small but complete enough to write real kernels
+(GMM scoring, DNN layers, DCT, FIR, ...): 32 integer registers (``x0``..
+``x31``), 32 floating-point registers (``f0``..``f31``), loads/stores,
+conditional branches, calls/returns and a ``trap`` instruction for precise
+exception testing.  Programs are assembled from text with
+:func:`repro.isa.assemble` and executed functionally with
+:class:`repro.isa.FunctionalExecutor`, which yields the dynamic instruction
+stream (:class:`repro.isa.DynInst`) consumed by the timing pipeline.
+"""
+
+from repro.isa.registers import RegClass, RegRef, INT_REGS, FP_REGS, reg, xreg, freg
+from repro.isa.opcodes import Op, OpInfo, OPCODES
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+from repro.isa.assembler import assemble, AssemblerError
+from repro.isa.dyninst import DynInst
+from repro.isa.memory import SparseMemory
+from repro.isa.executor import (
+    FunctionalExecutor,
+    ArchState,
+    FaultModel,
+    NoFaults,
+    FirstTouchFaults,
+)
+
+__all__ = [
+    "RegClass",
+    "RegRef",
+    "INT_REGS",
+    "FP_REGS",
+    "reg",
+    "xreg",
+    "freg",
+    "Op",
+    "OpInfo",
+    "OPCODES",
+    "Instruction",
+    "Program",
+    "assemble",
+    "AssemblerError",
+    "DynInst",
+    "SparseMemory",
+    "FunctionalExecutor",
+    "ArchState",
+    "FaultModel",
+    "NoFaults",
+    "FirstTouchFaults",
+]

@@ -1,0 +1,210 @@
+"""Two-pass assembler for the toy ISA.
+
+Syntax example::
+
+    .data
+    arr:    .word 1 2 3 4
+    out:    .zero 4
+
+    .text
+    main:   movi x1, arr
+            movi x2, 0
+            movi x3, 4
+    loop:   ld   x4, 0(x1)
+            add  x2, x2, x4
+            addi x1, x1, 8
+            subi x3, x3, 1
+            bnez x3, loop
+            movi x5, out
+            st   x2, 0(x5)
+            halt
+
+Comments start with ``#`` or ``;``.  ``call lbl`` and ``ret`` are sugar for
+``jal x31, lbl`` and ``jalr x31``.  Immediates may reference data labels.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import MNEMONICS, OPCODES, Op
+from repro.isa.program import DATA_BASE, Program
+from repro.isa.registers import LINK_REG, RegRef, reg, xreg
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_MEM_RE = re.compile(r"^(?P<off>[^()]*)\((?P<base>[xX]\d+)\)$")
+
+
+def _strip(line: str) -> str:
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_number(tok: str) -> Union[int, float]:
+    tok = tok.strip()
+    try:
+        return int(tok, 0)
+    except ValueError:
+        pass
+    try:
+        return float(tok)
+    except ValueError as exc:
+        raise AssemblerError(f"bad numeric literal: {tok!r}") from exc
+
+
+class _Assembler:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.labels: dict[str, int] = {}
+        self.data: dict[int, Union[int, float]] = {}
+        self.pending: list[tuple[str, list[str], int]] = []  # (mnemonic, operands, lineno)
+        self._data_ptr = DATA_BASE
+
+    # ------------------------------------------------------------------ pass 1
+    def collect(self) -> None:
+        section = "text"
+        for lineno, raw in enumerate(self.text.splitlines(), start=1):
+            line = _strip(raw)
+            if not line:
+                continue
+            while True:
+                match = re.match(r"^([\w.$]+):\s*", line)
+                if not match:
+                    break
+                self._define_label(match.group(1), section, lineno)
+                line = line[match.end():]
+            if not line:
+                continue
+            if line.startswith("."):
+                section = self._directive(line, section, lineno)
+                continue
+            if section != "text":
+                raise AssemblerError(f"line {lineno}: instruction outside .text")
+            mnemonic, _, rest = line.partition(" ")
+            operands = [tok.strip() for tok in rest.split(",")] if rest.strip() else []
+            self.pending.append((mnemonic.lower(), operands, lineno))
+
+    def _define_label(self, name: str, section: str, lineno: int) -> None:
+        if not _LABEL_RE.match(name):
+            raise AssemblerError(f"line {lineno}: bad label {name!r}")
+        if name in self.labels:
+            raise AssemblerError(f"line {lineno}: duplicate label {name!r}")
+        self.labels[name] = len(self.pending) if section == "text" else self._data_ptr
+
+    def _directive(self, line: str, section: str, lineno: int) -> str:
+        parts = line.split()
+        name = parts[0]
+        if name == ".text":
+            return "text"
+        if name == ".data":
+            return "data"
+        if name == ".word":
+            for tok in parts[1:]:
+                self.data[self._data_ptr] = _parse_number(tok)
+                self._data_ptr += 8
+            return section
+        if name == ".zero":
+            count = int(parts[1], 0) if len(parts) > 1 else 1
+            for _ in range(count):
+                self.data[self._data_ptr] = 0
+                self._data_ptr += 8
+            return section
+        raise AssemblerError(f"line {lineno}: unknown directive {name!r}")
+
+    # ------------------------------------------------------------------ pass 2
+    def emit(self) -> Program:
+        insts = [self._encode(m, ops, ln) for m, ops, ln in self.pending]
+        entry = self.labels.get("main", 0)
+        return Program(insts=insts, labels=dict(self.labels), data=dict(self.data), entry=entry)
+
+    def _resolve_imm(self, tok: str, lineno: int) -> Union[int, float]:
+        if tok in self.labels:
+            return self.labels[tok]
+        return _parse_number(tok)
+
+    def _resolve_target(self, tok: str, lineno: int) -> int:
+        if tok not in self.labels:
+            raise AssemblerError(f"line {lineno}: undefined label {tok!r}")
+        return self.labels[tok]
+
+    def _encode(self, mnemonic: str, ops: list[str], lineno: int) -> Instruction:
+        # sugar
+        if mnemonic == "call":
+            return Instruction(Op.JAL, dest=xreg(LINK_REG),
+                               target=self._resolve_target(ops[0], lineno), label=ops[0])
+        if mnemonic == "ret":
+            return Instruction(Op.JALR, srcs=(xreg(LINK_REG),))
+        if mnemonic not in MNEMONICS:
+            raise AssemblerError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+        op = MNEMONICS[mnemonic]
+        info = OPCODES[op]
+        fmt = info.asm_fmt
+        try:
+            return self._encode_fmt(op, fmt, ops, lineno)
+        except (IndexError, ValueError) as exc:
+            raise AssemblerError(f"line {lineno}: bad operands for {mnemonic}: {exc}") from exc
+
+    def _encode_fmt(self, op: Op, fmt: str, ops: list[str], lineno: int) -> Instruction:
+        info = OPCODES[op]
+        if fmt == "":
+            return Instruction(op)
+        if fmt == "d,s,s":
+            return Instruction(op, dest=reg(ops[0]), srcs=(reg(ops[1]), reg(ops[2])))
+        if fmt == "d,s,s,s":
+            return Instruction(op, dest=reg(ops[0]),
+                               srcs=(reg(ops[1]), reg(ops[2]), reg(ops[3])))
+        if fmt == "d,s,i":
+            return Instruction(op, dest=reg(ops[0]), srcs=(reg(ops[1]),),
+                               imm=self._resolve_imm(ops[2], lineno))
+        if fmt == "d,s":
+            return Instruction(op, dest=reg(ops[0]), srcs=(reg(ops[1]),))
+        if fmt == "d,i":
+            return Instruction(op, dest=reg(ops[0]), imm=self._resolve_imm(ops[1], lineno))
+        if fmt == "d,a":
+            base, off = self._parse_mem(ops[1], lineno)
+            return Instruction(op, dest=reg(ops[0]), srcs=(base,), imm=off)
+        if fmt == "v,a":
+            base, off = self._parse_mem(ops[1], lineno)
+            return Instruction(op, srcs=(reg(ops[0]), base), imm=off)
+        if fmt == "s,s,L":
+            return Instruction(op, srcs=(reg(ops[0]), reg(ops[1])),
+                               target=self._resolve_target(ops[2], lineno), label=ops[2])
+        if fmt == "s,L":
+            return Instruction(op, srcs=(reg(ops[0]),),
+                               target=self._resolve_target(ops[1], lineno), label=ops[1])
+        if fmt == "L":
+            return Instruction(op, target=self._resolve_target(ops[0], lineno), label=ops[0])
+        if fmt == "d,L":
+            return Instruction(op, dest=reg(ops[0]),
+                               target=self._resolve_target(ops[1], lineno), label=ops[1])
+        if fmt == "s":
+            return Instruction(op, srcs=(reg(ops[0]),))
+        raise AssemblerError(f"line {lineno}: unhandled format {fmt!r} for {op}")
+
+    def _parse_mem(self, tok: str, lineno: int) -> tuple[RegRef, int]:
+        match = _MEM_RE.match(tok.replace(" ", ""))
+        if not match:
+            raise AssemblerError(f"line {lineno}: bad memory operand {tok!r}")
+        base = reg(match.group("base"))
+        off_tok = match.group("off") or "0"
+        off = self._resolve_imm(off_tok, lineno)
+        if not isinstance(off, int):
+            raise AssemblerError(f"line {lineno}: non-integer offset {off_tok!r}")
+        return base, off
+
+
+def assemble(text: str) -> Program:
+    """Assemble ``text`` into a :class:`Program` (labels resolved)."""
+    asm = _Assembler(text)
+    asm.collect()
+    return asm.emit()

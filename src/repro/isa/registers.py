@@ -1,0 +1,68 @@
+"""Logical register identifiers.
+
+The machine has two decoupled register classes, mirroring the paper's
+decoupled integer / floating-point register files: 32 integer registers
+(``x0``..``x31``) and 32 floating-point registers (``f0``..``f31``).
+``x31`` is used by convention as the link register for ``jal``/``ret`` but
+has no special hardware behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class RegClass(enum.IntEnum):
+    """Register class: integer or floating point."""
+
+    INT = 0
+    FP = 1
+
+    @property
+    def prefix(self) -> str:
+        return "x" if self is RegClass.INT else "f"
+
+
+#: Number of logical registers per class.
+INT_REGS = 32
+FP_REGS = 32
+
+#: Link register index (convention only).
+LINK_REG = 31
+
+
+class RegRef(NamedTuple):
+    """A reference to one logical register: ``(register class, index)``."""
+
+    cls: RegClass
+    idx: int
+
+    def __str__(self) -> str:
+        return f"{self.cls.prefix}{self.idx}"
+
+
+def xreg(idx: int) -> RegRef:
+    """Integer register ``x<idx>``."""
+    if not 0 <= idx < INT_REGS:
+        raise ValueError(f"integer register index out of range: {idx}")
+    return RegRef(RegClass.INT, idx)
+
+
+def freg(idx: int) -> RegRef:
+    """Floating-point register ``f<idx>``."""
+    if not 0 <= idx < FP_REGS:
+        raise ValueError(f"fp register index out of range: {idx}")
+    return RegRef(RegClass.FP, idx)
+
+
+def reg(name: str) -> RegRef:
+    """Parse a register name such as ``"x7"`` or ``"f12"``."""
+    name = name.strip().lower()
+    if len(name) < 2 or name[0] not in "xf":
+        raise ValueError(f"bad register name: {name!r}")
+    try:
+        idx = int(name[1:])
+    except ValueError as exc:
+        raise ValueError(f"bad register name: {name!r}") from exc
+    return xreg(idx) if name[0] == "x" else freg(idx)

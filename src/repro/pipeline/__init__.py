@@ -1,0 +1,15 @@
+"""Cycle-level out-of-order pipeline (the gem5-O3 stand-in)."""
+
+from repro.pipeline.config import MachineConfig, TABLE_I, TABLE_III, rf_config_for
+from repro.pipeline.stats import SimStats
+from repro.pipeline.processor import Processor, simulate
+
+__all__ = [
+    "MachineConfig",
+    "TABLE_I",
+    "TABLE_III",
+    "rf_config_for",
+    "SimStats",
+    "Processor",
+    "simulate",
+]

@@ -1,0 +1,51 @@
+"""Functional unit pool: per-kind issue bandwidth and occupancy."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FUPool:
+    """Tracks per-cycle issue slots and unpipelined-unit occupancy.
+
+    ``fu_config`` maps kind -> (count, latency, pipelined).  Pipelined
+    units accept one new operation per unit per cycle; unpipelined units
+    (dividers) are busy for their full latency.
+    """
+
+    def __init__(self, fu_config: dict[str, tuple[int, int, bool]]) -> None:
+        self.config = dict(fu_config)
+        self._cycle = -1
+        self._used: dict[str, int] = {}
+        self._busy_until: dict[str, list[int]] = {
+            kind: [0] * count
+            for kind, (count, _lat, pipelined) in self.config.items()
+            if not pipelined
+        }
+
+    def _roll(self, cycle: int) -> None:
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._used = {}
+
+    def try_issue(self, kind: str, cycle: int) -> Optional[int]:
+        """Reserve a unit of ``kind``; returns its latency or None if busy."""
+        self._roll(cycle)
+        count, latency, pipelined = self.config[kind]
+        if self._used.get(kind, 0) >= count:
+            return None
+        if not pipelined:
+            slots = self._busy_until[kind]
+            for index, busy_until in enumerate(slots):
+                if busy_until <= cycle:
+                    slots[index] = cycle + latency
+                    break
+            else:
+                return None
+        self._used[kind] = self._used.get(kind, 0) + 1
+        return latency
+
+    def flush(self) -> None:
+        for slots in self._busy_until.values():
+            for index in range(len(slots)):
+                slots[index] = 0

@@ -1,0 +1,106 @@
+"""Issue queue with version-tagged wakeup.
+
+This is where the paper's scheme touches the issue logic: source and
+destination tags are ``(class, physical register, version)``, so when a
+shared register's new version is produced only the consumers waiting for
+*that* version wake up (Section IV-A, the P1.1 / P1.2 example).  The 4
+extra tag bits per entry are charged to the scheme's area overhead in
+Table II.
+
+Implementation note: wakeup is indexed (tag -> waiting entries) and the
+ready list is maintained incrementally, so the per-cycle cost is
+proportional to activity, not to queue size.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Callable, Iterable
+
+from repro.core.renamer import Tag
+from repro.isa.dyninst import DynInst
+
+
+class _Entry:
+    __slots__ = ("dyn", "waiting", "ticket", "removed")
+
+    def __init__(self, dyn: DynInst, waiting: set[Tag], ticket: int) -> None:
+        self.dyn = dyn
+        self.waiting = waiting  # source tags not yet produced
+        self.ticket = ticket
+        self.removed = False
+
+
+class IssueQueue:
+    """Unified issue queue, oldest-first select."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._size = 0
+        self._ticket = count()
+        self._by_dyn: dict[int, _Entry] = {}
+        self._by_tag: dict[Tag, list[_Entry]] = {}
+        self._ready: list[_Entry] = []
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def free_slots(self) -> int:
+        return self.size - self._size
+
+    def insert(self, dyn: DynInst, is_ready: Callable[[Tag], bool]) -> None:
+        if self._size >= self.size:
+            raise AssertionError("issue queue overflow")
+        waiting = {tag for tag in dyn.src_tags if not is_ready(tag)}
+        entry = _Entry(dyn, waiting, next(self._ticket))
+        self._by_dyn[id(dyn)] = entry
+        self._size += 1
+        if waiting:
+            for tag in waiting:
+                self._by_tag.setdefault(tag, []).append(entry)
+        else:
+            self._ready.append(entry)
+
+    def wakeup(self, tag: Tag) -> None:
+        """Broadcast a produced tag: wake consumers waiting on this version."""
+        entries = self._by_tag.pop(tag, None)
+        if not entries:
+            return
+        for entry in entries:
+            if entry.removed:
+                continue
+            entry.waiting.discard(tag)
+            if not entry.waiting:
+                self._ready.append(entry)
+
+    def ready_entries(self) -> list[DynInst]:
+        """Ready instructions, oldest first."""
+        if not self._ready:
+            return []
+        live = [entry for entry in self._ready if not entry.removed]
+        live.sort(key=lambda entry: entry.ticket)
+        self._ready = live
+        return [entry.dyn for entry in live]
+
+    def remove(self, dyn: DynInst) -> None:
+        entry = self._by_dyn.pop(id(dyn), None)
+        if entry is None:
+            raise AssertionError("instruction not in issue queue")
+        entry.removed = True
+        self._size -= 1
+
+    def discard(self, dyn: DynInst) -> bool:
+        """Remove ``dyn`` if present (squash); returns whether it was."""
+        entry = self._by_dyn.pop(id(dyn), None)
+        if entry is None:
+            return False
+        entry.removed = True
+        self._size -= 1
+        return True
+
+    def flush(self) -> None:
+        self._by_dyn.clear()
+        self._by_tag.clear()
+        self._ready.clear()
+        self._size = 0

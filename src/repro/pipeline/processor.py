@@ -1,0 +1,467 @@
+"""The out-of-order processor model.
+
+One :class:`Processor` couples the front end (fetch + branch prediction +
+L1-I), a renaming scheme (conventional or sharing), the issue queue with
+version-tagged wakeup, the load/store queue, functional units, the memory
+hierarchy and in-order commit with precise exceptions.
+
+Stage evaluation order within a cycle is commit → writeback → issue →
+rename/dispatch → fetch, so results propagate with realistic one-cycle
+visibility and a value written back in cycle N can feed a dependent issue
+in the same cycle (full bypass network).
+
+Verification: when ``config.verify_values`` is set, every issued
+instruction's renamed source operands are read from the physical register
+file and compared against the functionally recorded values — any renaming
+bug (wrong version woken, premature overwrite, bad recovery) trips an
+assertion instead of silently skewing results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Iterable, Optional, Union
+
+from repro.core.renamer import BaseRenamer, Tag
+from repro.core.sharing import SharingRenamer
+from repro.frontend.branch_predictor import BranchUnit
+from repro.frontend.fetch import FetchUnit, InstSource, IterSource
+from repro.isa.dyninst import DynInst
+from repro.isa.executor import FaultModel, FunctionalExecutor
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.isa.registers import FP_REGS, INT_REGS, RegClass, RegRef
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.functional_units import FUPool
+from repro.pipeline.issue_queue import IssueQueue
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.rob import ReorderBuffer
+from repro.pipeline.stats import SimStats
+
+
+class VerificationError(AssertionError):
+    """A renaming/dataflow verification check failed."""
+
+
+def _values_equal(a, b) -> bool:
+    if a == b:
+        return True
+    return a != a and b != b  # NaN == NaN for verification purposes
+
+
+class Processor:
+    """Cycle-level OoO core."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        source: InstSource,
+        fault_model: Optional[FaultModel] = None,
+        on_cycle=None,
+        on_cycle_interval: int = 128,
+        keep_trace: bool = False,
+    ) -> None:
+        self.config = config
+        self.fault_model = fault_model
+        self.on_cycle = on_cycle
+        self.on_cycle_interval = on_cycle_interval
+        #: committed instructions in commit order (when keep_trace is set)
+        self.trace: Optional[list[DynInst]] = [] if keep_trace else None
+        self.hierarchy = config.make_hierarchy()
+        self.branch_unit = BranchUnit(
+            kind=config.branch_predictor,
+            table_size=config.predictor_table,
+            btb_entries=config.btb_entries,
+            ras_depth=config.ras_depth,
+        )
+        wrong_path = None
+        if config.model_wrong_path:
+            if config.scheme == "early":
+                raise ValueError(
+                    "early-release renaming cannot walk back wrong-path "
+                    "renames; disable model_wrong_path")
+            from repro.frontend.wrong_path import WrongPathGenerator
+
+            wrong_path = WrongPathGenerator()
+        self.fetch = FetchUnit(
+            source,
+            self.branch_unit,
+            icache=self.hierarchy,
+            fetch_width=config.fetch_width,
+            queue_size=config.fetch_queue,
+            mispredict_penalty=config.mispredict_penalty,
+            line_bytes=config.hierarchy.line_bytes,
+            wrong_path=wrong_path,
+        )
+        self.renamer: BaseRenamer = config.make_renamer()
+        self._track_reads = self.renamer.tracks_operand_reads
+        self.rob = ReorderBuffer(config.rob_size)
+        self.iq = IssueQueue(config.iq_size)
+        self.lsq = LoadStoreQueue(config.lq_size, config.sq_size)
+        self.fus = FUPool(config.fu_config)
+        self.scoreboard: dict[Tag, bool] = {}
+        self.completion: list[tuple[int, int, DynInst]] = []
+        self._ticket = count()
+        self.stats = SimStats()
+        self.cycle = 0
+        self._halted = False
+        self._last_progress = 0
+
+        for tag, value in self.renamer.initial_tags():
+            self.scoreboard[tag] = True
+            self.renamer.write(tag, value)
+
+    # ------------------------------------------------------------------ helpers
+    def is_ready(self, tag: Tag) -> bool:
+        return self.scoreboard.get(tag, False)
+
+    def architectural_state(self) -> tuple[list, list]:
+        """Committed register state, read through the retirement map.
+
+        Returns (int_regs, fp_regs); used by tests to compare against the
+        in-order reference executor.
+        """
+        int_regs = [
+            self.renamer.read(self.renamer.committed_tag(RegRef(RegClass.INT, i)))
+            for i in range(INT_REGS)
+        ]
+        fp_regs = [
+            self.renamer.read(self.renamer.committed_tag(RegRef(RegClass.FP, i)))
+            for i in range(FP_REGS)
+        ]
+        return int_regs, fp_regs
+
+    @property
+    def _shadow_recovery(self) -> bool:
+        return isinstance(self.renamer, SharingRenamer)
+
+    # ------------------------------------------------------------------ main loop
+    def run(self, max_insts: Optional[int] = None) -> SimStats:
+        interrupt_interval = self.config.interrupt_interval
+        next_interrupt = interrupt_interval if interrupt_interval else None
+        while not self._done(max_insts):
+            self.cycle += 1
+            if next_interrupt is not None and self.cycle >= next_interrupt:
+                penalty = self._handle_interrupt()
+                # the next interrupt is scheduled after the handler returns,
+                # so forward progress is guaranteed
+                next_interrupt = self.cycle + interrupt_interval + penalty
+            self._commit()
+            self._writeback()
+            self._issue()
+            self._rename()
+            self.fetch.tick(self.cycle)
+            stats = self.stats
+            stats.rob_occupancy_sum += len(self.rob)
+            stats.iq_occupancy_sum += len(self.iq)
+            stats.free_regs_sum += self.renamer.free_registers(RegClass.INT)
+            stats.occupancy_samples += 1
+            if self.on_cycle is not None and self.cycle % self.on_cycle_interval == 0:
+                self.on_cycle(self)
+            if self.cycle > self.config.max_cycles:
+                raise RuntimeError("cycle budget exceeded")
+            if self.cycle - self._last_progress > 200_000:
+                raise RuntimeError(
+                    f"pipeline deadlock at cycle {self.cycle}: "
+                    f"rob={len(self.rob)} iq={len(self.iq)} head={self.rob.head()}"
+                )
+        self._finalize()
+        return self.stats
+
+    def _done(self, max_insts: Optional[int]) -> bool:
+        if self._halted:
+            return True
+        if max_insts is not None and self.stats.committed >= max_insts:
+            return True
+        return self.fetch.eof and len(self.rob) == 0
+
+    def _finalize(self) -> None:
+        stats = self.stats
+        stats.cycles = self.cycle
+        stats.renamer_stats = self.renamer.stats
+        stats.branch_stats = self.branch_unit.stats
+        if isinstance(self.renamer, SharingRenamer):
+            stats.predictor_stats = self.renamer.predictor.stats
+        stats.cache_stats = {
+            "l1d": self.hierarchy.l1d.stats,
+            "l1i": self.hierarchy.l1i.stats,
+            "l2": self.hierarchy.l2.stats,
+            "tlb": self.hierarchy.tlb.stats,
+            "dram": self.hierarchy.dram.stats,
+        }
+
+    # ------------------------------------------------------------------ commit
+    def _commit(self) -> None:
+        committed = 0
+        while committed < self.config.commit_width:
+            head = self.rob.head()
+            if head is None or not head.completed:
+                return
+            if head.exception_raised:
+                self._handle_exception(head)
+                return
+            if head.wrong_path:
+                raise AssertionError(
+                    "wrong-path instruction reached commit: the mispredicted "
+                    "branch must have resolved (and squashed it) first")
+            self.rob.pop_head()
+            head.commit_cycle = self.cycle
+            if head.info.is_store:
+                self.hierarchy.data_access(head.pc, head.mem_addr, True, self.cycle)
+                self.lsq.retire(head)
+                self.stats.stores += 1
+            elif head.info.is_load:
+                self.lsq.retire(head)
+                self.stats.loads += 1
+            self.renamer.commit(head)
+            if self.trace is not None:
+                self.trace.append(head)
+            if head.micro_op:
+                self.stats.committed_uops += 1
+            else:
+                self.stats.committed += 1
+            if head.op is Op.HALT:
+                self._halted = True
+                return
+            committed += 1
+            self._last_progress = self.cycle
+
+    # ------------------------------------------------------------------ exceptions
+    def _flush_and_replay(self, base_penalty: int) -> int:
+        """Precise flush at the commit boundary: squash everything in
+        flight, recover rename state, re-fetch in order.  Returns the
+        total penalty charged."""
+        replay = [d for d in self.rob.drain()
+                  if not d.micro_op and not d.wrong_path]
+        replay.extend(d for d in self.fetch.queue
+                      if not d.micro_op and not d.wrong_path)
+        for dyn in replay:
+            dyn.reset_pipeline_state()
+
+        diff = self.renamer.recover()
+        penalty = base_penalty
+        if self._shadow_recovery:
+            penalty += diff * self.config.recovery_cycles_per_entry
+        self.stats.recovery_cycles += penalty
+
+        self.iq.flush()
+        self.lsq.flush()
+        self.fus.flush()
+        self.completion.clear()
+        self._rebuild_scoreboard()
+        self.fetch.inject_replay(replay, self.cycle, penalty)
+        self._last_progress = self.cycle
+        return penalty
+
+    def _handle_exception(self, head: DynInst) -> None:
+        self.stats.exceptions += 1
+        # service the fault so the replayed instruction succeeds
+        if self.fault_model is not None and head.mem_addr is not None:
+            self.fault_model.service(head.mem_addr)
+        head.faults = False
+        self._flush_and_replay(self.config.exception_flush_penalty)
+
+    def _squash_wrong_path(self, branch: DynInst) -> int:
+        """The mispredicted branch resolved: walk back everything younger.
+
+        With wrong-path modelling, every ROB entry younger than the branch
+        is wrong-path (correct-path fetch stopped at the misprediction).
+        Returns the extra recovery cycles (shadow-cell restores).
+        """
+        squashed = self.rob.pop_younger_than(branch)
+        for dyn in squashed:
+            dyn.squashed = True
+            self.iq.discard(dyn)
+            if dyn.info.is_mem:
+                self.lsq.discard(dyn)
+            if dyn.dest_tag is not None:
+                self.scoreboard.pop(dyn.dest_tag, None)
+        restores = self.renamer.squash_to(squashed)
+        extra = restores * self.config.recovery_cycles_per_entry
+        self.stats.recovery_cycles += extra
+        self.stats.wrong_path_squashed += len(squashed)
+        self._last_progress = self.cycle
+        return extra
+
+    def _handle_interrupt(self) -> int:
+        """Asynchronous interrupt at the commit boundary (Section IV-B)."""
+        self.stats.interrupts += 1
+        return self._flush_and_replay(
+            self.config.exception_flush_penalty
+            + self.config.interrupt_handler_cycles
+        )
+
+    def _rebuild_scoreboard(self) -> None:
+        self.scoreboard = {}
+        for idx in range(INT_REGS):
+            tag = self.renamer.committed_tag(RegRef(RegClass.INT, idx))
+            self.scoreboard[tag] = True
+        for idx in range(FP_REGS):
+            tag = self.renamer.committed_tag(RegRef(RegClass.FP, idx))
+            self.scoreboard[tag] = True
+
+    # ------------------------------------------------------------------ writeback
+    def _writeback(self) -> None:
+        write_ports = self.config.rf_write_ports
+        writes_used = [0, 0]  # per register class
+        while self.completion and self.completion[0][0] <= self.cycle:
+            _, _, dyn = heapq.heappop(self.completion)
+            if dyn.squashed:
+                continue
+            if (write_ports is not None and dyn.dest_tag is not None
+                    and writes_used[dyn.dest_tag[0]] >= write_ports):
+                # out of register-file write ports: retry next cycle
+                heapq.heappush(self.completion,
+                               (self.cycle + 1, next(self._ticket), dyn))
+                break
+            if dyn.dest_tag is not None:
+                writes_used[dyn.dest_tag[0]] += 1
+            dyn.completed = True
+            dyn.complete_cycle = self.cycle
+            if dyn.dest_tag is not None:
+                if dyn.result is not None:
+                    self.renamer.write(dyn.dest_tag, dyn.result)
+                self.scoreboard[dyn.dest_tag] = True
+                self.iq_wakeup(dyn.dest_tag)
+            if dyn.info.is_branch:
+                extra = 0
+                if dyn.mispredicted and not dyn.wrong_path \
+                        and self.config.model_wrong_path:
+                    extra = self._squash_wrong_path(dyn)
+                self.fetch.branch_resolved(dyn, self.cycle, extra)
+            self._last_progress = self.cycle
+
+    def iq_wakeup(self, tag: Tag) -> None:
+        self.iq.wakeup(tag)
+
+    # ------------------------------------------------------------------ issue
+    def _issue(self) -> None:
+        issued = 0
+        read_ports = self.config.rf_read_ports
+        reads_used = [0, 0]  # per register class
+        for dyn in self.iq.ready_entries():
+            if issued >= self.config.issue_width:
+                break
+            info = dyn.info
+            if info.is_load and not dyn.faults and not self.lsq.load_can_issue(dyn):
+                continue
+            if read_ports is not None:
+                needed = [0, 0]
+                for tag in dyn.src_tags:
+                    needed[tag[0]] += 1
+                if any(reads_used[c] + needed[c] > read_ports for c in (0, 1)):
+                    continue  # out of register-file read ports this cycle
+            latency = self.fus.try_issue(info.fu, self.cycle)
+            if latency is None:
+                continue
+            if read_ports is not None:
+                reads_used[0] += needed[0]
+                reads_used[1] += needed[1]
+
+            if dyn.faults:
+                total = latency
+                dyn.exception_raised = True
+            elif info.is_load:
+                forwarding = self.lsq.forwarding_store(dyn)
+                if forwarding is not None:
+                    total = latency + 1
+                    self.stats.store_forwards += 1
+                else:
+                    total = latency + self.hierarchy.data_access(
+                        dyn.pc, dyn.mem_addr, False, self.cycle
+                    )
+                self.lsq.mark_issued(dyn)
+            elif info.is_store:
+                total = latency  # address generation; data written at commit
+                self.lsq.mark_issued(dyn)
+            else:
+                total = latency
+
+            if self.config.verify_values:
+                self._verify_operands(dyn)
+            if self._track_reads:
+                for tag in dyn.src_tags:
+                    self.renamer.on_operand_read(tag)
+
+            self.iq.remove(dyn)
+            dyn.issue_cycle = self.cycle
+            heapq.heappush(self.completion, (self.cycle + total, next(self._ticket), dyn))
+            self.stats.issued += 1
+            issued += 1
+            self._last_progress = self.cycle
+
+    def _verify_operands(self, dyn: DynInst) -> None:
+        if dyn.wrong_path:
+            return  # wrong-path inputs are meaningless by construction
+        for ref, tag, expected in zip(dyn.srcs, dyn.src_tags, dyn.src_values):
+            if expected is None:
+                continue
+            actual = self.renamer.read(tag)
+            if not _values_equal(actual, expected):
+                raise VerificationError(
+                    f"operand mismatch at {dyn}: {ref} renamed to {tag} "
+                    f"reads {actual!r}, expected {expected!r}"
+                )
+
+    # ------------------------------------------------------------------ rename
+    def _rename(self) -> None:
+        dispatched = 0
+        while dispatched < self.config.rename_width:
+            dyn = self.fetch.peek()
+            if dyn is None:
+                return
+            # worst case group: two repaired sources (3 µops each) + dyn
+            if self.rob.free_slots >= 7 and self.iq.free_slots >= 7:
+                slots = 1  # plenty of room; rename() sizes the real group
+            else:
+                uops = self.renamer.uops_needed(dyn, self.is_ready)
+                slots = uops + 1
+                if self.rob.free_slots < slots:
+                    self.stats.rename_stall_rob += 1
+                    return
+                if self.iq.free_slots < slots:
+                    self.stats.rename_stall_iq += 1
+                    return
+            if dyn.info.is_mem and not self.lsq.can_insert(dyn):
+                self.stats.rename_stall_lsq += 1
+                return
+            if not self.renamer.can_rename(dyn):
+                self.stats.rename_stall_regs += 1
+                return
+            self.fetch.pop()
+            group = self.renamer.rename(dyn, self.is_ready)
+            for renamed in group:
+                renamed.rename_cycle = self.cycle
+                if renamed.dest_tag is not None:
+                    self.scoreboard[renamed.dest_tag] = False
+                self.rob.push(renamed)
+                self.iq.insert(renamed, self.is_ready)
+                if renamed.info.is_mem:
+                    self.lsq.insert(renamed)
+            dispatched += len(group)  # repair µops occupy dispatch slots
+            self._last_progress = self.cycle
+
+
+def simulate(
+    config: MachineConfig,
+    workload: Union[Program, InstSource, Iterable[DynInst]],
+    fault_model: Optional[FaultModel] = None,
+    max_insts: Optional[int] = None,
+    program_budget: int = 10_000_000,
+) -> SimStats:
+    """Run one simulation and return its statistics.
+
+    ``workload`` may be an assembled :class:`Program` (executed
+    functionally), an :class:`InstSource`, or any iterable of
+    :class:`DynInst` (e.g. a workload generator).
+    """
+    if isinstance(workload, Program):
+        executor = FunctionalExecutor(workload, fault_model=fault_model)
+        source: InstSource = IterSource(executor.run(program_budget))
+    elif hasattr(workload, "next_inst"):
+        source = workload  # type: ignore[assignment]
+    else:
+        source = IterSource(workload)
+    processor = Processor(config, source, fault_model=fault_model)
+    return processor.run(max_insts=max_insts)

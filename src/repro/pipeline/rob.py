@@ -1,0 +1,53 @@
+"""Reorder buffer: a bounded FIFO of in-flight instructions."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.isa.dyninst import DynInst
+
+
+class ReorderBuffer:
+    """In-order window of renamed instructions awaiting commit."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._entries: deque[DynInst] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DynInst]:
+        return iter(self._entries)
+
+    @property
+    def free_slots(self) -> int:
+        return self.size - len(self._entries)
+
+    def push(self, dyn: DynInst) -> None:
+        if len(self._entries) >= self.size:
+            raise AssertionError("ROB overflow")
+        self._entries.append(dyn)
+
+    def head(self) -> Optional[DynInst]:
+        return self._entries[0] if self._entries else None
+
+    def pop_head(self) -> DynInst:
+        return self._entries.popleft()
+
+    def drain(self) -> list[DynInst]:
+        """Remove and return all entries in order (pipeline flush)."""
+        entries = list(self._entries)
+        self._entries.clear()
+        return entries
+
+    def pop_younger_than(self, anchor: DynInst) -> list[DynInst]:
+        """Remove every entry younger than ``anchor`` (which must be in the
+        buffer); returns them youngest-first (walk-back order)."""
+        popped: list[DynInst] = []
+        while self._entries and self._entries[-1] is not anchor:
+            popped.append(self._entries.pop())
+        if not self._entries:
+            raise AssertionError("anchor not in ROB")
+        return popped

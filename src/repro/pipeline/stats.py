@@ -1,0 +1,156 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class SimStats:
+    """Counters collected by one simulation run."""
+
+    cycles: int = 0
+    committed: int = 0  # architectural instructions (micro-ops excluded)
+    committed_uops: int = 0
+
+    # stalls, classified at the rename/dispatch boundary
+    rename_stall_regs: int = 0  # no free register and no reuse possible
+    rename_stall_rob: int = 0
+    rename_stall_iq: int = 0
+    rename_stall_lsq: int = 0
+
+    # memory behaviour
+    loads: int = 0
+    stores: int = 0
+    store_forwards: int = 0
+
+    # speculation / exceptions / interrupts
+    exceptions: int = 0
+    interrupts: int = 0
+    recovery_cycles: int = 0
+    wrong_path_squashed: int = 0  # wrong-path instructions walked back
+
+    # issue activity
+    issued: int = 0
+
+    # structure occupancy (accumulated every cycle)
+    rob_occupancy_sum: int = 0
+    iq_occupancy_sum: int = 0
+    free_regs_sum: int = 0
+    occupancy_samples: int = 0
+
+    # references to component stats filled in by the processor
+    renamer_stats: Optional[object] = None
+    branch_stats: Optional[object] = None
+    predictor_stats: Optional[object] = None
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_rob_occupancy(self) -> float:
+        return self.rob_occupancy_sum / self.occupancy_samples \
+            if self.occupancy_samples else 0.0
+
+    @property
+    def avg_iq_occupancy(self) -> float:
+        return self.iq_occupancy_sum / self.occupancy_samples \
+            if self.occupancy_samples else 0.0
+
+    @property
+    def avg_free_regs(self) -> float:
+        return self.free_regs_sum / self.occupancy_samples \
+            if self.occupancy_samples else 0.0
+
+    @property
+    def total_rename_stalls(self) -> int:
+        return (
+            self.rename_stall_regs
+            + self.rename_stall_rob
+            + self.rename_stall_iq
+            + self.rename_stall_lsq
+        )
+
+    def detailed_report(self) -> str:
+        """gem5-style full statistics dump."""
+        lines = [self.summary(), ""]
+        lines.append(f"avg ROB occupancy {self.avg_rob_occupancy:8.1f}")
+        lines.append(f"avg IQ occupancy  {self.avg_iq_occupancy:8.1f}")
+        lines.append(f"avg free int regs {self.avg_free_regs:8.1f}")
+        lines.append(f"issued            {self.issued}")
+        if self.interrupts:
+            lines.append(f"interrupts        {self.interrupts}")
+        if self.wrong_path_squashed:
+            lines.append(f"wrong-path squashed {self.wrong_path_squashed}")
+
+        renamer = self.renamer_stats
+        if renamer is not None and renamer.dest_insts:
+            lines.append("")
+            lines.append(f"dest renames      {renamer.dest_insts}")
+            lines.append(f"  allocations     {renamer.allocations} "
+                         f"(per bank {renamer.allocations_per_bank}, "
+                         f"fallbacks {renamer.fallback_allocations})")
+            lines.append(f"  reuses          {renamer.reuses} "
+                         f"[guaranteed {renamer.reuses_guaranteed}, "
+                         f"predicted {renamer.reuses_predicted}]")
+            lines.append(f"  lost reuse      no-shadow {renamer.lost_reuse_no_shadow}, "
+                         f"saturated {renamer.lost_reuse_saturated}, "
+                         f"not-first {renamer.lost_reuse_not_first_use}, "
+                         f"predicted-no {renamer.lost_reuse_not_predicted}")
+            if renamer.repairs:
+                lines.append(f"  repairs         {renamer.repairs} "
+                             f"({renamer.repair_uops} uops)")
+            lines.append(f"  releases        {renamer.releases}, "
+                         f"recoveries {renamer.recoveries} "
+                         f"({renamer.recovered_map_entries} map entries)")
+
+        branch = self.branch_stats
+        if branch is not None and branch.branches:
+            lines.append("")
+            lines.append(f"branches          {branch.branches} "
+                         f"(mispredicted {branch.mispredicted}, "
+                         f"accuracy {100 * branch.accuracy:.1f}%, "
+                         f"BTB misses {branch.btb_misses})")
+
+        predictor = self.predictor_stats
+        if predictor is not None and predictor.releases:
+            lines.append(f"type predictor    {predictor.releases} classified "
+                         f"releases: reuse-ok {predictor.reuse_correct}, "
+                         f"repairs {predictor.reuse_incorrect}, "
+                         f"no-reuse-ok {predictor.no_reuse_correct}, "
+                         f"missed {predictor.no_reuse_incorrect}, "
+                         f"unused {predictor.reuse_unused}")
+
+        if self.cache_stats:
+            lines.append("")
+            for name in ("l1i", "l1d", "l2"):
+                cache = self.cache_stats.get(name)
+                if cache is not None and cache.accesses:
+                    lines.append(
+                        f"{name.upper():5s} accesses {cache.accesses:8d}  "
+                        f"miss rate {100 * cache.miss_rate:5.1f}%  "
+                        f"writebacks {cache.writebacks}")
+            tlb = self.cache_stats.get("tlb")
+            if tlb is not None and tlb.accesses:
+                lines.append(f"TLB   accesses {tlb.accesses:8d}  "
+                             f"miss rate {100 * tlb.miss_rate:5.1f}%")
+            dram = self.cache_stats.get("dram")
+            if dram is not None and dram.accesses:
+                lines.append(f"DRAM  accesses {dram.accesses:8d}  "
+                             f"row hits {dram.row_hits}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles            {self.cycles}",
+            f"instructions      {self.committed} (+{self.committed_uops} repair uops)",
+            f"IPC               {self.ipc:.4f}",
+            f"rename stalls     regs={self.rename_stall_regs} rob={self.rename_stall_rob} "
+            f"iq={self.rename_stall_iq} lsq={self.rename_stall_lsq}",
+            f"loads/stores      {self.loads}/{self.stores} (forwards {self.store_forwards})",
+            f"exceptions        {self.exceptions} (recovery cycles {self.recovery_cycles})",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Workload substrate.
+
+Two kinds of workloads drive the simulator:
+
+* **statistical traces** (:mod:`repro.workloads.generator`): synthetic
+  dynamic instruction streams with a fixed pseudo-static skeleton, whose
+  register-dependence structure (consumer counts, single-use chains,
+  redefinition patterns), opcode mix, branch behaviour and memory
+  locality are controlled per benchmark by
+  :mod:`repro.workloads.profiles`.  These stand in for the paper's SPEC
+  CPU2006 / Mediabench / cognitive runs (see DESIGN.md for why the
+  substitution preserves the studied behaviour);
+* **real kernels** (:mod:`repro.workloads.kernels`): GMM scoring, DNN
+  layers, DCT, FIR and friends written in the toy ISA and executed
+  functionally end-to-end.
+"""
+
+from repro.workloads.profiles import (
+    WorkloadProfile,
+    BENCHMARKS,
+    SPECINT,
+    SPECFP,
+    MEDIABENCH,
+    COGNITIVE,
+    suite,
+)
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.kernels import KERNELS, Kernel
+from repro.workloads.kernels_extra import EXTRA_KERNELS
+from repro.workloads.lookahead import annotate_hints
+from repro.workloads.microbench import MICROBENCHES
+from repro.workloads.programs import PROGRAMS
+from repro.workloads.trace_io import (
+    load_trace,
+    load_trace_file,
+    save_trace,
+    save_trace_file,
+)
+
+#: every real kernel, both waves
+ALL_KERNELS: dict = {**KERNELS, **EXTRA_KERNELS}
+
+__all__ = [
+    "Kernel",
+    "KERNELS",
+    "EXTRA_KERNELS",
+    "ALL_KERNELS",
+    "MICROBENCHES",
+    "PROGRAMS",
+    "annotate_hints",
+    "save_trace",
+    "load_trace",
+    "save_trace_file",
+    "load_trace_file",
+    "WorkloadProfile",
+    "BENCHMARKS",
+    "SPECINT",
+    "SPECFP",
+    "MEDIABENCH",
+    "COGNITIVE",
+    "suite",
+    "SyntheticWorkload",
+]

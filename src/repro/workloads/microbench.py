@@ -1,0 +1,162 @@
+"""Directed microbenchmarks.
+
+Tiny assembly generators that isolate one behaviour each — the classic
+way to characterise a renaming scheme's best and worst cases:
+
+* ``chain_ladder``   — back-to-back single-use chains (the scheme's best
+  case: every link is a guaranteed reuse);
+* ``wide_independent`` — maximal ILP with no reuse opportunity (every
+  value is multi-use or long-lived);
+* ``pointer_chase``  — serialised loads (the window fills, registers idle);
+* ``branch_storm``   — dense data-dependent branches;
+* ``producer_consumer`` — single-use values whose consumers do *not*
+  redefine the register (exercises the predicted-reuse path only);
+* ``register_hog``   — many long-lived values (worst case: nothing is
+  reusable, committed state dominates the file).
+
+Each returns assembly text; ``build`` assembles and sizes the loop.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program, assemble
+
+
+def chain_ladder(iters: int = 200, links: int = 6) -> str:
+    """Each iteration runs a ``links``-deep single-use chain on x1."""
+    body = "\n".join("      add  x1, x1, x2" for _ in range(links))
+    return f"""
+    main: movi x9, {iters}
+          movi x1, 1
+          movi x2, 3
+    loop: movi x1, 7
+{body}
+          subi x9, x9, 1
+          bnez x9, loop
+          halt
+    """
+
+
+def wide_independent(iters: int = 200, width: int = 6) -> str:
+    """``width`` independent multi-use values per iteration."""
+    lines = []
+    for i in range(width):
+        a = 1 + (i % 6)
+        b = 1 + ((i + 1) % 6)
+        dest = 10 + i
+        lines.append(f"      add  x{dest}, x{a}, x{b}")
+        lines.append(f"      xor  x{16 + i}, x{dest}, x{a}")
+        lines.append(f"      and  x{22 + i % 6}, x{dest}, x{b}")
+    body = "\n".join(lines)
+    return f"""
+    main: movi x9, {iters}
+          movi x1, 1
+          movi x2, 2
+          movi x3, 3
+          movi x4, 4
+          movi x5, 5
+          movi x6, 6
+    loop:
+{body}
+          subi x9, x9, 1
+          bnez x9, loop
+          halt
+    """
+
+
+def pointer_chase(nodes: int = 64, hops: int = 400) -> str:
+    """A linked ring in memory; each load depends on the previous."""
+    # node i at arr + 8*i holds the address of node (i * 7 + 3) % nodes
+    ring = [0] * nodes
+    for i in range(nodes):
+        ring[i] = 0x1_0000 + 8 * ((i * 7 + 3) % nodes)
+    words = " ".join(str(v) for v in ring)
+    return f"""
+    .data
+    ring: .word {words}
+    .text
+    main: movi x9, {hops}
+          movi x1, ring
+    loop: ld   x1, 0(x1)
+          subi x9, x9, 1
+          bnez x9, loop
+          halt
+    """
+
+
+def branch_storm(iters: int = 300) -> str:
+    """Dense data-dependent branches driven by an LCG's high bits
+    (low bits of simple recurrences are too predictable)."""
+    return f"""
+    main: movi x9, {iters}
+          movi x1, 88172645463325252
+          movi x10, 6364136223846793005
+    loop: mul  x1, x1, x10
+          addi x1, x1, 1442695041
+          shri x2, x1, 61
+          andi x3, x2, 1
+          beqz x3, skip1
+          addi x6, x6, 1
+    skip1: andi x3, x2, 2
+          beqz x3, skip2
+          addi x7, x7, 1
+    skip2: andi x3, x2, 4
+          bnez x3, skip3
+          addi x8, x8, 1
+    skip3: subi x9, x9, 1
+          bnez x9, loop
+          halt
+    """
+
+
+def producer_consumer(iters: int = 250) -> str:
+    """Single-use values consumed by a *different* register's definition
+    (the predicted-reuse path; no guaranteed chains)."""
+    return f"""
+    main: movi x9, {iters}
+          movi x2, 5
+    loop: add  x1, x2, x9    # producer
+          add  x3, x1, x2    # sole consumer, different dest
+          add  x4, x3, x2    # sole consumer of x3
+          add  x5, x4, x2
+          add  x6, x5, x2
+          mov  x2, x6
+          subi x9, x9, 1
+          bnez x9, loop
+          halt
+    """
+
+
+def register_hog(iters: int = 150) -> str:
+    """Values stay live across the whole loop body: no reuse possible."""
+    defs = "\n".join(f"      addi x{i}, x{i}, {i}" for i in range(1, 25))
+    # every value is read twice (the accumulate and the xor), so no value
+    # is single-use and nothing is reusable
+    uses = "\n".join(
+        f"      add  x25, x25, x{i}\n      xor  x27, x25, x{i}"
+        for i in range(1, 25)
+    )
+    return f"""
+    main: movi x26, {iters}
+    loop:
+{defs}
+{uses}
+          subi x26, x26, 1
+          bnez x26, loop
+          halt
+    """
+
+
+MICROBENCHES = {
+    "chain_ladder": chain_ladder,
+    "wide_independent": wide_independent,
+    "pointer_chase": pointer_chase,
+    "branch_storm": branch_storm,
+    "producer_consumer": producer_consumer,
+    "register_hog": register_hog,
+}
+
+
+def build(name: str, **kw) -> Program:
+    """Assemble one microbenchmark by name."""
+    return assemble(MICROBENCHES[name](**kw))

@@ -1,0 +1,243 @@
+"""Composite multi-stage programs.
+
+Full miniature applications (not single kernels): a speech front-end in
+the spirit of the authors' GMM/ASR line of work (FIR pre-emphasis feeding
+GMM scoring through a called subroutine), and a JPEG-style image pipeline
+(level shift, DCT via subroutine, quantisation).  These exercise
+call/return prediction, deeper register lifetimes across call sites, and
+mixed int/fp pressure — closer to whole-benchmark behaviour than the
+single kernels in :mod:`repro.workloads.kernels`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.isa import assemble
+from repro.isa.program import DATA_BASE
+from repro.workloads.kernels import Kernel, _fmt
+
+
+def speech_pipeline(frames: int = 6, samples: int = 16, taps: int = 4,
+                    components: int = 4, seed: int = 31) -> Kernel:
+    """FIR pre-emphasis + GMM scoring per frame; tracks the global best.
+
+    Layout: for each frame, filter ``samples`` inputs with ``taps``
+    coefficients, then call ``score`` once per GMM component (mean/precision
+    over the filtered frame) and fold the maximum into the running best.
+    """
+    rng = random.Random(seed)
+    inputs = [round(rng.uniform(-1, 1), 3)
+              for _ in range(frames * samples + taps)]
+    coeffs = [round(rng.uniform(-0.5, 0.5), 3) for _ in range(taps)]
+    means = [[round(rng.uniform(-1, 1), 3) for _ in range(samples)]
+             for _ in range(components)]
+    precs = [[round(rng.uniform(0.5, 2.0), 3) for _ in range(samples)]
+             for _ in range(components)]
+
+    source = f"""
+    .data
+    inp:    .word {_fmt(inputs)}
+    coef:   .word {_fmt(coeffs)}
+    means:  .word {_fmt([v for row in means for v in row])}
+    precs:  .word {_fmt([v for row in precs for v in row])}
+    frame:  .zero {samples}
+    best:   .zero 1
+
+    .text
+    main:   movi x20, 0              # frame index
+            fli  f15, -1e30          # global best score
+    frames: # ---- FIR: frame[i] = sum_t coef[t] * inp[f*samples + i + t]
+            movi x1, 0
+    fir:    movi x2, {samples * 8}
+            mul  x3, x20, x2
+            movi x4, inp
+            add  x4, x4, x3
+            shli x5, x1, 3
+            add  x4, x4, x5          # &inp[f*samples + i]
+            movi x6, coef
+            fli  f1, 0.0
+            movi x7, 0
+    tap:    fld  f2, 0(x4)
+            fld  f3, 0(x6)
+            fmul f4, f2, f3
+            fadd f1, f1, f4
+            addi x4, x4, 8
+            addi x6, x6, 8
+            addi x7, x7, 1
+            slti x8, x7, {taps}
+            bnez x8, tap
+            movi x9, frame
+            add  x9, x9, x5
+            fst  f1, 0(x9)
+            addi x1, x1, 1
+            slti x8, x1, {samples}
+            bnez x8, fir
+            # ---- GMM: call score once per component
+            movi x21, 0              # component index
+    comps:  movi x2, {samples * 8}
+            mul  x3, x21, x2
+            movi x10, means
+            add  x10, x10, x3        # x10 = &means[k][0]
+            movi x11, precs
+            add  x11, x11, x3        # x11 = &precs[k][0]
+            call score               # -> f10 = component score
+            fmax f15, f15, f10
+            addi x21, x21, 1
+            slti x8, x21, {components}
+            bnez x8, comps
+            addi x20, x20, 1
+            slti x8, x20, {frames}
+            bnez x8, frames
+            movi x12, best
+            fst  f15, 0(x12)
+            halt
+
+    # score(frame, means@x10, precs@x11) -> f10 = -0.5 * sum d^2 * prec
+    score:  movi x12, frame
+            fli  f10, 0.0
+            movi x13, 0
+    sdim:   fld  f5, 0(x12)
+            fld  f6, 0(x10)
+            fld  f7, 0(x11)
+            fsub f8, f5, f6
+            fmul f8, f8, f8
+            fmul f8, f8, f7
+            fadd f10, f10, f8
+            addi x12, x12, 8
+            addi x10, x10, 8
+            addi x11, x11, 8
+            addi x13, x13, 1
+            slti x8, x13, {samples}
+            bnez x8, sdim
+            fli  f9, -0.5
+            fmul f10, f10, f9
+            ret
+    """
+
+    def expected(mem) -> dict:
+        best = -1e30
+        for f in range(frames):
+            frame = [
+                sum(coeffs[t] * inputs[f * samples + i + t]
+                    for t in range(taps))
+                for i in range(samples)
+            ]
+            for k in range(components):
+                score = -0.5 * sum(
+                    (frame[d] - means[k][d]) ** 2 * precs[k][d]
+                    for d in range(samples)
+                )
+                best = max(best, score)
+        return {"best": best}
+
+    program = assemble(source)
+    return Kernel("speech", source, program, expected)
+
+
+def speech_best_address(frames: int, samples: int, taps: int,
+                        components: int) -> int:
+    words = (frames * samples + taps) + taps + 2 * components * samples + samples
+    return DATA_BASE + words * 8
+
+
+def image_pipeline(blocks: int = 4, n: int = 4, seed: int = 33) -> Kernel:
+    """JPEG-style stage chain per block: level shift, DCT (subroutine),
+    quantise, store coefficients."""
+    rng = random.Random(seed)
+    pixels = [[rng.randint(0, 255) for _ in range(n)] for _ in range(blocks)]
+    cosine = [[round(math.cos(math.pi / n * (i + 0.5) * k), 6)
+               for i in range(n)] for k in range(n)]
+    quant = [round(1.0 / (1 + k), 6) for k in range(n)]
+
+    source = f"""
+    .data
+    pix:  .word {_fmt([v for row in pixels for v in row])}
+    cos:  .word {_fmt([v for row in cosine for v in row])}
+    qt:   .word {_fmt(quant)}
+    work: .zero {n}
+    out:  .zero {blocks * n}
+
+    .text
+    main:   movi x20, 0               # block index
+    blocks: # ---- level shift into work[]
+            movi x1, 0
+            movi x2, {n * 8}
+            mul  x3, x20, x2
+            movi x4, pix
+            add  x4, x4, x3
+            movi x5, work
+    shift:  ld   x6, 0(x4)
+            subi x6, x6, 128
+            fcvt f1, x6
+            fst  f1, 0(x5)
+            addi x4, x4, 8
+            addi x5, x5, 8
+            addi x1, x1, 1
+            slti x8, x1, {n}
+            bnez x8, shift
+            # ---- DCT + quantise each coefficient
+            movi x21, 0               # coefficient k
+    coeff:  call dct1                 # -> f10 = dct(work, k=x21)
+            movi x7, qt
+            shli x9, x21, 3
+            add  x7, x7, x9
+            fld  f2, 0(x7)
+            fmul f10, f10, f2         # quantise
+            movi x7, out
+            add  x7, x7, x3
+            add  x7, x7, x9
+            fst  f10, 0(x7)
+            addi x21, x21, 1
+            slti x8, x21, {n}
+            bnez x8, coeff
+            addi x20, x20, 1
+            slti x8, x20, {blocks}
+            bnez x8, blocks
+            halt
+
+    # dct1(work, k@x21) -> f10 = sum_i work[i] * cos[k][i]
+    dct1:   movi x10, work
+            movi x11, cos
+            movi x12, {n * 8}
+            mul  x13, x21, x12
+            add  x11, x11, x13
+            fli  f10, 0.0
+            movi x14, 0
+    dsum:   fld  f3, 0(x10)
+            fld  f4, 0(x11)
+            fmul f5, f3, f4
+            fadd f10, f10, f5
+            addi x10, x10, 8
+            addi x11, x11, 8
+            addi x14, x14, 1
+            slti x8, x14, {n}
+            bnez x8, dsum
+            ret
+    """
+
+    def expected(mem) -> dict:
+        out = []
+        for block in pixels:
+            shifted = [p - 128 for p in block]
+            row = []
+            for k in range(n):
+                value = sum(shifted[i] * cosine[k][i] for i in range(n))
+                row.append(value * quant[k])
+            out.append(row)
+        return {"out": out}
+
+    program = assemble(source)
+    return Kernel("image", source, program, expected)
+
+
+def image_out_address(blocks: int, n: int) -> int:
+    words = blocks * n + n * n + n + n
+    return DATA_BASE + words * 8
+
+
+PROGRAMS = {
+    "speech": speech_pipeline,
+    "image": image_pipeline,
+}

@@ -1,0 +1,148 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import assemble, AssemblerError
+from repro.isa.opcodes import Op
+from repro.isa.program import DATA_BASE
+from repro.isa.registers import freg, xreg
+
+
+def test_three_operand_form():
+    program = assemble("add x1, x2, x3")
+    inst = program.insts[0]
+    assert inst.op is Op.ADD
+    assert inst.dest == xreg(1)
+    assert inst.srcs == (xreg(2), xreg(3))
+
+
+def test_immediate_forms():
+    program = assemble("movi x1, 42\naddi x2, x1, -7\nfli f1, 2.5")
+    assert program.insts[0].imm == 42
+    assert program.insts[1].imm == -7
+    assert program.insts[2].imm == 2.5
+
+
+def test_hex_immediate():
+    program = assemble("movi x1, 0xff")
+    assert program.insts[0].imm == 255
+
+
+def test_memory_operands():
+    program = assemble("ld x1, 8(x2)\nst x3, -16(x4)\nfld f1, 0(x5)\nfst f2, 8(x6)")
+    ld, st, fld, fst = program.insts
+    assert ld.srcs == (xreg(2),) and ld.imm == 8
+    assert st.srcs == (xreg(3), xreg(4)) and st.imm == -16
+    assert fld.dest == freg(1)
+    assert fst.srcs == (freg(2), xreg(6))
+
+
+def test_labels_and_branches():
+    program = assemble(
+        """
+        main: movi x1, 3
+        loop: subi x1, x1, 1
+              bnez x1, loop
+              beq  x1, x2, main
+              jmp  end
+        end:  halt
+        """
+    )
+    assert program.labels["loop"] == 1
+    assert program.insts[2].target == 1
+    assert program.insts[3].target == 0
+    assert program.insts[4].target == 5
+    assert program.entry == 0
+
+
+def test_call_ret_sugar():
+    program = assemble(
+        """
+        main: call fn
+              halt
+        fn:   ret
+        """
+    )
+    call, _halt, ret = program.insts
+    assert call.op is Op.JAL and call.dest == xreg(31) and call.target == 2
+    assert ret.op is Op.JALR and ret.srcs == (xreg(31),)
+
+
+def test_data_section_words_and_labels():
+    program = assemble(
+        """
+        .data
+        arr: .word 1 2 3
+        out: .zero 2
+        .text
+        main: movi x1, arr
+              movi x2, out
+              halt
+        """
+    )
+    assert program.labels["arr"] == DATA_BASE
+    assert program.labels["out"] == DATA_BASE + 24
+    assert program.data[DATA_BASE + 16] == 3
+    assert program.data[DATA_BASE + 24] == 0
+    assert program.insts[0].imm == DATA_BASE
+
+
+def test_comments_and_blank_lines():
+    program = assemble(
+        """
+        # full-line comment
+        movi x1, 1  ; trailing comment
+        ; another
+        halt
+        """
+    )
+    assert len(program.insts) == 2
+
+
+def test_entry_defaults_to_main_label():
+    program = assemble(
+        """
+        helper: nop
+        main:   halt
+        """
+    )
+    assert program.entry == 1
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("a: nop\na: nop")
+
+
+def test_undefined_branch_target_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("jmp nowhere")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("frobnicate x1, x2")
+
+
+def test_bad_memory_operand_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("ld x1, x2")
+
+
+def test_label_as_immediate_in_alu():
+    program = assemble(
+        """
+        .data
+        v: .word 9
+        .text
+        main: addi x1, x0, v
+              halt
+        """
+    )
+    assert program.insts[0].imm == DATA_BASE
+
+
+def test_instruction_str_roundtrip_smoke():
+    program = assemble("add x1, x2, x3\nld x4, 8(x5)\nbeqz x1, main\nmain: halt")
+    for inst in program.insts:
+        assert inst.op.value in str(inst)

@@ -1,0 +1,82 @@
+"""Run simulations with continuous cross-structure invariant checking."""
+
+import pytest
+
+from repro import MachineConfig, assemble
+from repro.frontend.fetch import IterSource
+from repro.isa import FirstTouchFaults
+from repro.isa.executor import FunctionalExecutor
+from repro.pipeline.debug import InvariantViolation, check_invariants
+from repro.pipeline.processor import Processor
+from repro.workloads import BENCHMARKS, SyntheticWorkload
+
+
+def run_checked(workload_or_text, scheme, fault_model=None, **cfg):
+    config = MachineConfig(scheme=scheme, int_regs=48, fp_regs=48, **cfg)
+    if isinstance(workload_or_text, str):
+        executor = FunctionalExecutor(assemble(workload_or_text),
+                                      fault_model=fault_model)
+        source = IterSource(executor.run(200_000))
+    else:
+        source = IterSource(iter(workload_or_text))
+    processor = Processor(config, source, fault_model=fault_model,
+                          on_cycle=check_invariants, on_cycle_interval=16)
+    return processor.run()
+
+
+PROGRAM = """
+.data
+arr: .word 9 8 7 6 5 4 3 2
+.text
+main: movi x1, arr
+      movi x2, 0
+      movi x3, 8
+loop: ld   x4, 0(x1)
+      mul  x5, x4, x4
+      add  x2, x2, x5
+      addi x1, x1, 8
+      subi x3, x3, 1
+      bnez x3, loop
+      halt
+"""
+
+
+@pytest.mark.parametrize("scheme", ["conventional", "sharing"])
+def test_invariants_hold_through_program(scheme):
+    stats = run_checked(PROGRAM, scheme)
+    assert stats.committed > 0
+
+
+@pytest.mark.parametrize("scheme", ["conventional", "sharing"])
+def test_invariants_hold_through_exceptions(scheme):
+    stats = run_checked(PROGRAM, scheme, fault_model=FirstTouchFaults())
+    assert stats.exceptions >= 1
+
+
+def test_invariants_hold_with_wrong_path():
+    stats = run_checked(
+        list(SyntheticWorkload(BENCHMARKS["gobmk"], total_insts=2500)),
+        "sharing", model_wrong_path=True)
+    assert stats.wrong_path_squashed > 0
+
+
+def test_invariants_hold_under_pressure():
+    stats = run_checked(
+        list(SyntheticWorkload(BENCHMARKS["bwaves"], total_insts=2500)),
+        "sharing", int_banks=(33, 2, 2, 2), fp_banks=(33, 2, 2, 2))
+    assert stats.committed == 2500
+
+
+def test_invariant_checker_detects_corruption():
+    """Deliberately corrupt the free list and check the checker fires."""
+    config = MachineConfig(scheme="sharing", int_regs=48, fp_regs=48)
+    executor = FunctionalExecutor(assemble(PROGRAM))
+    processor = Processor(config, IterSource(executor.run(200_000)))
+    # corrupt: force a mapped register onto its free list
+    from repro.isa.registers import RegClass
+
+    domain = processor.renamer.domains[RegClass.INT]
+    mapped_phys = domain.map.get(1)[0]
+    domain.free.release(mapped_phys)
+    with pytest.raises(InvariantViolation):
+        check_invariants(processor)

@@ -1,0 +1,164 @@
+"""Unit tests for SparseMemory and the cache/TLB/DRAM/prefetcher models."""
+
+from repro.isa.memory import SparseMemory
+from repro.mem.cache import Cache
+from repro.mem.dram import DRAM, DRAMTimings
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.mem.prefetcher import StridePrefetcher
+from repro.mem.tlb import TLB
+
+
+# --------------------------------------------------------------------- memory
+def test_sparse_memory_alignment_and_default():
+    mem = SparseMemory()
+    assert mem.load(0x123) == 0
+    mem.store(0x100, 7)
+    assert mem.load(0x107) == 7  # same 8-byte word
+    assert mem.load(0x108) == 0
+
+
+def test_sparse_memory_blocks_and_copy():
+    mem = SparseMemory()
+    mem.store_block(0x40, [1, 2, 3])
+    assert mem.load_block(0x40, 3) == [1, 2, 3]
+    clone = mem.copy()
+    clone.store(0x40, 99)
+    assert mem.load(0x40) == 1
+    assert mem != clone
+    assert mem == mem.copy()
+
+
+# --------------------------------------------------------------------- caches
+def make_l1(next_level=None):
+    return Cache("L1", size_bytes=1024, assoc=2, line_bytes=64,
+                 hit_latency=1, next_level=next_level)
+
+
+def test_cache_hit_after_miss():
+    cache = make_l1()
+    miss = cache.access(0x0, False, 0)
+    hit = cache.access(0x8, False, 1)  # same line
+    assert miss == 1  # no next level: just its own latency
+    assert hit == 1
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+
+def test_cache_miss_goes_to_next_level():
+    l2 = Cache("L2", 4096, 4, 64, hit_latency=10)
+    l1 = make_l1(next_level=l2)
+    latency = l1.access(0x0, False, 0)
+    assert latency == 1 + 10
+    assert l2.stats.accesses == 1
+    # now L1 hit: L2 untouched
+    assert l1.access(0x0, False, 1) == 1
+    assert l2.stats.accesses == 1
+
+
+def test_cache_lru_eviction():
+    cache = make_l1()  # 8 sets, 2 ways
+    set_stride = 64 * 8  # same set every 512 bytes
+    a, b, c = 0, set_stride, 2 * set_stride
+    cache.access(a, False, 0)
+    cache.access(b, False, 1)
+    cache.access(a, False, 2)  # touch a -> b is LRU
+    cache.access(c, False, 3)  # evicts b
+    assert cache.contains(a) and cache.contains(c)
+    assert not cache.contains(b)
+
+
+def test_cache_writeback_of_dirty_victim():
+    l2 = Cache("L2", 4096, 4, 64, hit_latency=10)
+    l1 = make_l1(next_level=l2)
+    set_stride = 64 * 8
+    l1.access(0, True, 0)  # dirty
+    l1.access(set_stride, False, 1)
+    l1.access(2 * set_stride, False, 2)  # evicts dirty line 0
+    assert l1.stats.writebacks == 1
+
+
+def test_cache_prefetch_is_not_a_demand_access():
+    cache = make_l1()
+    cache.prefetch(0x0, 0)
+    assert cache.stats.accesses == 0
+    assert cache.stats.prefetches == 1
+    cache.access(0x0, False, 1)
+    assert cache.stats.hits == 1
+    assert cache.stats.prefetch_hits == 1
+
+
+# --------------------------------------------------------------------- DRAM
+def test_dram_row_buffer():
+    dram = DRAM(DRAMTimings())
+    first = dram.access(0x0, False, 0)
+    second = dram.access(0x40, False, 1)  # same row
+    assert first == dram.timings.row_miss_latency
+    assert second == dram.timings.row_hit_latency
+    assert first > second
+    assert dram.stats.row_hits == 1 and dram.stats.row_misses == 1
+
+
+def test_dram_bank_interleaving():
+    timings = DRAMTimings()
+    dram = DRAM(timings)
+    dram.access(0x0, False, 0)
+    other_bank = timings.row_bytes  # next row maps to the next bank
+    dram.access(other_bank, False, 1)
+    assert dram.access(0x0, False, 2) == timings.row_hit_latency
+
+
+# --------------------------------------------------------------------- TLB
+def test_tlb_hit_miss_and_lru():
+    tlb = TLB(entries=2, page_bits=12, miss_penalty=30)
+    assert tlb.translate(0x0000) == 30
+    assert tlb.translate(0x0008) == 0  # same page
+    assert tlb.translate(0x1000) == 30
+    assert tlb.translate(0x0000) == 0  # still resident
+    assert tlb.translate(0x2000) == 30  # evicts LRU (0x1000's page)
+    assert tlb.translate(0x1000) == 30
+    assert tlb.stats.misses == 4
+
+
+def test_tlb_flush():
+    tlb = TLB(entries=4)
+    tlb.translate(0)
+    tlb.flush()
+    assert tlb.translate(0) == tlb.miss_penalty
+
+
+# --------------------------------------------------------------------- prefetcher
+def test_stride_prefetcher_trains_and_issues():
+    cache = make_l1()
+    pf = StridePrefetcher(table_size=16, degree=1, threshold=2)
+    pc = 0x40
+    for i in range(4):
+        pf.observe(pc, 0x1000 + i * 64, cache, i)
+    assert pf.issued >= 1
+    # the next stride target should now be resident
+    assert cache.contains(0x1000 + 4 * 64)
+
+
+def test_stride_prefetcher_ignores_irregular():
+    cache = make_l1()
+    pf = StridePrefetcher(table_size=16)
+    addrs = [0x0, 0x1000, 0x40, 0x2000, 0x80]
+    for i, addr in enumerate(addrs):
+        pf.observe(0x40, addr, cache, i)
+    assert pf.issued == 0
+
+
+# --------------------------------------------------------------------- hierarchy
+def test_hierarchy_latency_composition():
+    h = MemoryHierarchy(HierarchyConfig(enable_prefetcher=False))
+    cold = h.data_access(0, 0x5000, False, 0)
+    warm = h.data_access(0, 0x5000, False, 1)
+    # cold access: TLB walk + L1 + L2 + DRAM; warm: 1-cycle L1 hit
+    assert cold > warm
+    assert warm == h.config.l1d_latency
+    assert h.tlb.stats.misses == 1
+
+
+def test_hierarchy_inst_fetch_uses_l1i():
+    h = MemoryHierarchy()
+    h.inst_fetch(0x0, False, 0)
+    assert h.l1i.stats.accesses == 1
+    assert h.l1d.stats.accesses == 0

@@ -1,0 +1,110 @@
+"""Tests for register-file read-port contention modeling."""
+
+import pytest
+
+from repro import MachineConfig, assemble, simulate
+from repro.isa.executor import run_to_completion
+from repro.workloads import BENCHMARKS, SyntheticWorkload
+
+# wide independent ALU work: issue wants many reads per cycle
+WIDE = """
+main: movi x1, 1
+      movi x2, 2
+      movi x3, 3
+      movi x4, 4
+      movi x9, 200
+loop: add  x5, x1, x2
+      add  x6, x3, x4
+      add  x7, x1, x3
+      add  x8, x2, x4
+      xor  x10, x5, x6
+      xor  x11, x7, x8
+      subi x9, x9, 1
+      bnez x9, loop
+      halt
+"""
+
+
+def run(read_ports, scheme="conventional"):
+    config = MachineConfig(scheme=scheme, int_regs=96, fp_regs=96,
+                           rf_read_ports=read_ports, issue_width=6,
+                           fu_config={
+                               "alu": (6, 1, True), "mul": (1, 3, True),
+                               "div": (1, 12, False), "fpu": (2, 4, True),
+                               "fpdiv": (1, 16, False), "branch": (1, 1, True),
+                               "mem": (2, 1, True),
+                           })
+    return simulate(config, assemble(WIDE))
+
+
+def test_unlimited_ports_fastest():
+    unlimited = run(None)
+    constrained = run(2)
+    assert unlimited.ipc > constrained.ipc
+
+
+def test_port_limit_monotone():
+    ipcs = [run(p).ipc for p in (2, 4, 8)]
+    assert ipcs == sorted(ipcs)
+
+
+def test_correctness_preserved_under_port_pressure():
+    from repro.frontend.fetch import IterSource
+    from repro.isa.executor import FunctionalExecutor
+    from repro.pipeline.processor import Processor
+
+    reference = run_to_completion(assemble(WIDE))
+    for scheme in ("conventional", "sharing"):
+        config = MachineConfig(scheme=scheme, int_regs=64, fp_regs=64,
+                               rf_read_ports=3)
+        executor = FunctionalExecutor(assemble(WIDE))
+        processor = Processor(config, IterSource(executor.run(100_000)))
+        processor.run()
+        int_regs, _ = processor.architectural_state()
+        assert int_regs == reference.int_regs, scheme
+
+
+def test_ample_ports_equal_unlimited():
+    assert run(16).cycles == run(None).cycles
+
+
+def test_synthetic_workload_with_ports():
+    workload = SyntheticWorkload(BENCHMARKS["hmmer"], total_insts=3000)
+    config = MachineConfig(scheme="sharing", int_regs=64, fp_regs=64,
+                           rf_read_ports=8)
+    stats = simulate(config, iter(workload))
+    assert stats.committed == 3000
+
+
+def test_write_port_limit_slows_wide_writeback():
+    limited = MachineConfig(scheme="conventional", int_regs=96, fp_regs=96,
+                            rf_write_ports=1, issue_width=6,
+                            fu_config={
+                                "alu": (6, 1, True), "mul": (1, 3, True),
+                                "div": (1, 12, False), "fpu": (2, 4, True),
+                                "fpdiv": (1, 16, False), "branch": (1, 1, True),
+                                "mem": (2, 1, True),
+                            })
+    free = MachineConfig(scheme="conventional", int_regs=96, fp_regs=96,
+                         rf_write_ports=None, issue_width=6,
+                         fu_config=dict(limited.fu_config))
+    slow = simulate(limited, assemble(WIDE))
+    fast = simulate(free, assemble(WIDE))
+    assert slow.cycles > fast.cycles
+    assert slow.committed == fast.committed
+
+
+def test_write_port_correctness():
+    from repro.frontend.fetch import IterSource
+    from repro.isa.executor import FunctionalExecutor
+    from repro.pipeline.processor import Processor
+
+    reference = run_to_completion(assemble(WIDE))
+    for scheme in ("conventional", "sharing"):
+        config = MachineConfig(scheme=scheme, int_regs=64, fp_regs=64,
+                               rf_write_ports=2)
+        executor = FunctionalExecutor(assemble(WIDE))
+        processor = Processor(config, IterSource(executor.run(100_000)))
+        processor.run()
+        int_regs, _ = processor.architectural_state()
+        assert int_regs == reference.int_regs, scheme

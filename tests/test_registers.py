@@ -1,0 +1,49 @@
+"""Unit tests for logical register references."""
+
+import pytest
+
+from repro.isa.registers import RegClass, RegRef, freg, reg, xreg
+
+
+def test_xreg_basic():
+    r = xreg(5)
+    assert r.cls is RegClass.INT
+    assert r.idx == 5
+    assert str(r) == "x5"
+
+
+def test_freg_basic():
+    r = freg(31)
+    assert r.cls is RegClass.FP
+    assert str(r) == "f31"
+
+
+def test_parse_names():
+    assert reg("x0") == xreg(0)
+    assert reg(" X7 ") == xreg(7)
+    assert reg("f12") == freg(12)
+    assert reg("F3") == freg(3)
+
+
+@pytest.mark.parametrize("bad", ["y1", "x", "f", "x32", "f-1", "xx1", "", "x1.5"])
+def test_parse_rejects_bad_names(bad):
+    with pytest.raises(ValueError):
+        reg(bad)
+
+
+def test_bounds():
+    with pytest.raises(ValueError):
+        xreg(32)
+    with pytest.raises(ValueError):
+        freg(-1)
+
+
+def test_regref_equality_and_hash():
+    assert xreg(3) == xreg(3)
+    assert xreg(3) != freg(3)
+    assert len({xreg(1), xreg(1), freg(1)}) == 2
+
+
+def test_class_prefix():
+    assert RegClass.INT.prefix == "x"
+    assert RegClass.FP.prefix == "f"
