@@ -1,8 +1,10 @@
 # Convenience targets for the reproduction.
 
 PYTHON ?= python
+JOBS ?= 4
 
-.PHONY: install test bench bench-full repro examples lint-goldens clean
+.PHONY: install test bench bench-parallel bench-full repro examples \
+	cache-smoke lint-goldens clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -13,8 +15,15 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# sweep grids fan out over $(JOBS) worker processes, warm runs hit the cache
+bench-parallel:
+	REPRO_JOBS=$(JOBS) REPRO_CACHE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
 bench-full:
 	REPRO_SCALE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+cache-smoke:
+	$(PYTHON) tools/cache_smoke.py
 
 repro:
 	$(PYTHON) examples/reproduce_paper.py

@@ -7,6 +7,11 @@ authors' gem5 + SPEC testbed (see EXPERIMENTS.md).
 
 Scale: benches default to a trimmed quick scale so the whole suite runs
 in minutes; set REPRO_SCALE=full for the full benchmark lists.
+
+Execution: the simulation-heavy benches enumerate their sweep grids
+declaratively and run them through the sweep engine — set REPRO_JOBS=N
+to fan points out over N worker processes and REPRO_CACHE=1 to serve
+repeated runs from the persistent result cache (REPRO_CACHE_DIR).
 """
 
 import os
@@ -21,6 +26,16 @@ def scale() -> Scale:
     if os.environ.get("REPRO_SCALE") == "full":
         return Scale.full()
     return Scale(insts=6_000, benchmarks_per_suite=4, sizes=(48, 64, 96))
+
+
+@pytest.fixture(scope="session")
+def engine() -> dict:
+    """Sweep-engine kwargs (jobs, cache) resolved from the environment."""
+    from repro.harness.cache import ResultCache
+    from repro.harness.parallel import resolve_jobs
+
+    cache = ResultCache() if os.environ.get("REPRO_CACHE") == "1" else None
+    return {"jobs": resolve_jobs(None), "cache": cache}
 
 
 @pytest.fixture(scope="session")

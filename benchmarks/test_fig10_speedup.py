@@ -16,8 +16,8 @@ from repro.harness.runner import geomean
 
 
 @pytest.mark.parametrize("suite", ["specfp", "specint", "media+cog"])
-def test_figure10(benchmark, scale, suite, results_cache):
-    result = run_once(benchmark, lambda: figure10(suite, scale))
+def test_figure10(benchmark, scale, suite, results_cache, engine):
+    result = run_once(benchmark, lambda: figure10(suite, scale, **engine))
     results_cache[("fig10", suite)] = result
     print("\n" + result.render())
 

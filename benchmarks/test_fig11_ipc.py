@@ -11,8 +11,8 @@ from conftest import run_once
 from repro.harness.figures import figure11
 
 
-def test_figure11(benchmark, scale):
-    result = run_once(benchmark, lambda: figure11(scale))
+def test_figure11(benchmark, scale, engine):
+    result = run_once(benchmark, lambda: figure11(scale, **engine))
     print("\n" + result.render())
 
     sizes = sorted(result.sizes)

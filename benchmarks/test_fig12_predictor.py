@@ -10,8 +10,8 @@ from conftest import run_once
 from repro.harness.figures import figure12
 
 
-def test_figure12(benchmark, scale):
-    result = run_once(benchmark, lambda: figure12(scale))
+def test_figure12(benchmark, scale, engine):
+    result = run_once(benchmark, lambda: figure12(scale, **engine))
     print("\n" + result.render())
 
     for suite in ("specint", "specfp"):

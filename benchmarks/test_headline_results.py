@@ -6,8 +6,8 @@ from conftest import run_once
 from repro.harness.headline import headline
 
 
-def test_headline(benchmark, scale):
-    result = run_once(benchmark, lambda: headline(scale))
+def test_headline(benchmark, scale, engine):
+    result = run_once(benchmark, lambda: headline(scale, **engine))
     print("\n" + result.render())
 
     # positive average speedup over the pressured register-file range

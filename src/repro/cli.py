@@ -13,6 +13,12 @@ Usage::
 runs one synthetic benchmark profile; ``compare`` sweeps register-file
 sizes for baseline vs proposed; ``figures`` regenerates the paper's
 tables/figures; ``motivation`` prints the dataflow analysis.
+
+``compare`` and ``figures`` execute their simulation grids through the
+sweep engine: ``--jobs N`` (default: ``REPRO_JOBS`` env, else 1) fans the
+points out over N worker processes, and results are served from the
+persistent result cache (``REPRO_CACHE_DIR``, default
+``~/.cache/repro/sweeps``) unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ import argparse
 import sys
 
 from repro.analysis import analyze_chains, analyze_stream
-from repro.harness.runner import Scale, class_sizes
+from repro.harness.runner import Scale
 from repro.isa import assemble
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.processor import simulate
@@ -41,6 +47,14 @@ def _machine_args(parser: argparse.ArgumentParser) -> None:
                         help="print the full statistics report")
     parser.add_argument("--wrong-path", action="store_true",
                         help="model wrong-path speculation")
+
+
+def _sweep_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep "
+                             "(default: REPRO_JOBS env, else 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache")
 
 
 def _config(args) -> MachineConfig:
@@ -106,27 +120,44 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _sweep_cache(args):
+    """Result cache honouring --no-cache (None disables caching)."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.harness.cache import ResultCache
+
+    return ResultCache()
+
+
 def cmd_compare(args) -> int:
+    from repro.harness.parallel import SweepPoint, collect_stats, run_points
+
     if args.name not in BENCHMARKS:
         print(f"unknown benchmark {args.name!r}", file=sys.stderr)
         return 1
     profile = BENCHMARKS[args.name]
     sizes = [int(s) for s in args.sizes.split(",")]
+    points = [SweepPoint(profile=profile, scheme=scheme, size=size,
+                         insts=args.insts, seed=args.seed)
+              for size in sizes for scheme in ("conventional", "sharing")]
+    cache = _sweep_cache(args)
+    stats = collect_stats(run_points(points, jobs=args.jobs, cache=cache))
     print(f"{args.name} ({profile.suite}), {args.insts} instructions")
     print(f"{'RF size':>8s} {'baseline':>9s} {'proposed':>9s} {'speedup':>8s}")
     for size in sizes:
-        int_regs, fp_regs = class_sizes(profile, size)
-        ipcs = {}
-        for scheme in ("conventional", "sharing"):
-            config = MachineConfig(scheme=scheme, int_regs=int_regs,
-                                   fp_regs=fp_regs, verify_values=False)
-            workload = SyntheticWorkload(profile, total_insts=args.insts,
-                                         seed=args.seed)
-            ipcs[scheme] = simulate(config, iter(workload)).ipc
-        speedup = ipcs["sharing"] / ipcs["conventional"] - 1
-        print(f"{size:8d} {ipcs['conventional']:9.3f} {ipcs['sharing']:9.3f} "
+        baseline = stats[(profile.name, "conventional", size, args.seed)].ipc
+        proposed = stats[(profile.name, "sharing", size, args.seed)].ipc
+        speedup = proposed / baseline - 1 if baseline else 0.0
+        print(f"{size:8d} {baseline:9.3f} {proposed:9.3f} "
               f"{100 * speedup:+7.1f}%")
+    _print_cache_summary(cache)
     return 0
+
+
+def _print_cache_summary(cache) -> None:
+    if cache is not None and (cache.hits or cache.misses):
+        print(f"result cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+              f"[{cache.root}]", file=sys.stderr)
 
 
 def cmd_figures(args) -> int:
@@ -135,6 +166,8 @@ def cmd_figures(args) -> int:
                                table2_result, table3)
     scale = Scale.from_env()
     wanted = set(args.which) or {"all"}
+    cache = _sweep_cache(args)
+    engine = {"jobs": args.jobs, "cache": cache}
 
     def want(key):
         return "all" in wanted or key in wanted
@@ -143,15 +176,20 @@ def cmd_figures(args) -> int:
         print(table1(), "\n")
         print(table2_result().render(), "\n")
         print(table3().render(), "\n")
+    # analysis-only figures (no timing simulation -> no sweep engine)
     for key, fn in (("fig1", figure1), ("fig2", figure2), ("fig3", figure3),
-                    ("fig9", figure9), ("fig11", figure11), ("fig12", figure12)):
+                    ("fig9", figure9)):
         if want(key):
             print(fn(scale).render(), "\n")
+    for key, fn in (("fig11", figure11), ("fig12", figure12)):
+        if want(key):
+            print(fn(scale, **engine).render(), "\n")
     if want("fig10"):
         for suite in ("specfp", "specint", "media+cog"):
-            print(figure10(suite, scale).render(), "\n")
+            print(figure10(suite, scale, **engine).render(), "\n")
     if want("headline"):
-        print(headline(scale).render())
+        print(headline(scale, **engine).render())
+    _print_cache_summary(cache)
     return 0
 
 
@@ -216,11 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--sizes", default="48,56,64,80,96")
     p_cmp.add_argument("--insts", type=int, default=10_000)
     p_cmp.add_argument("--seed", type=int, default=1)
+    _sweep_args(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
 
     p_fig = sub.add_parser("figures", help="regenerate tables/figures")
     p_fig.add_argument("which", nargs="*", default=[],
                        help="tables fig1..fig12 headline (default: all)")
+    _sweep_args(p_fig)
     p_fig.set_defaults(fn=cmd_figures)
 
     p_ker = sub.add_parser("kernels", help="run a real kernel")

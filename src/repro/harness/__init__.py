@@ -10,9 +10,29 @@ Scale is controlled by :class:`~repro.harness.runner.Scale`: the default
 ``quick`` scale uses representative benchmark subsets and short runs so
 the full harness finishes in minutes; ``Scale.full()`` runs every
 benchmark.
+
+Execution goes through the sweep engine: figure grids are enumerated as
+declarative :class:`~repro.harness.parallel.SweepPoint` lists and run by
+:func:`~repro.harness.parallel.run_points` — optionally fanned out over
+worker processes (``jobs``/``REPRO_JOBS``) and memoized in the
+persistent :class:`~repro.harness.cache.ResultCache`.
 """
 
-from repro.harness.runner import Scale, run_point, run_pair, sweep_speedups
+from repro.harness.cache import ResultCache, code_fingerprint, point_key
+from repro.harness.parallel import (
+    PointResult,
+    SweepError,
+    SweepPoint,
+    resolve_jobs,
+    run_points,
+)
+from repro.harness.runner import (
+    Scale,
+    enumerate_pair_points,
+    run_point,
+    run_pair,
+    sweep_speedups,
+)
 from repro.harness.figures import (
     figure1,
     figure2,
@@ -27,6 +47,15 @@ from repro.harness.headline import headline
 
 __all__ = [
     "Scale",
+    "ResultCache",
+    "PointResult",
+    "SweepError",
+    "SweepPoint",
+    "code_fingerprint",
+    "point_key",
+    "resolve_jobs",
+    "run_points",
+    "enumerate_pair_points",
     "run_point",
     "run_pair",
     "sweep_speedups",

@@ -1,0 +1,172 @@
+"""Persistent, content-addressed cache of simulation results.
+
+Every sweep point the harness runs is a pure function of its inputs —
+the :class:`~repro.pipeline.config.MachineConfig`, the workload profile,
+the instruction count and the seed — plus the simulator's own code.  The
+cache keys on a stable SHA-256 of exactly those inputs, with a
+*code fingerprint* (a hash over every ``.py`` file of the ``repro``
+package) folded in so results from a stale simulator invalidate
+automatically instead of silently polluting figures.
+
+Values are :meth:`~repro.pipeline.stats.SimStats.to_dict` snapshots
+stored one-JSON-file-per-entry under the cache root:
+
+* ``REPRO_CACHE_DIR`` environment variable, else
+* ``~/.cache/repro/sweeps``.
+
+Corrupted or truncated entries are treated as misses (and removed), never
+as errors.  There is no automatic eviction — entries are a few KB each —
+but :meth:`ResultCache.prune` drops the oldest entries past a bound, and
+deleting the directory is always safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional
+
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.stats import SimStats
+from repro.workloads.profiles import WorkloadProfile
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of the whole ``repro`` package source.
+
+    Conservative by design: *any* source change invalidates every cached
+    result, because config/workload hashing cannot know which module a
+    simulation's behaviour actually depends on.
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def point_key(config: MachineConfig, profile: WorkloadProfile, insts: int,
+              seed: int, fingerprint: Optional[str] = None) -> str:
+    """Stable content hash of one simulation's complete inputs."""
+    payload = {
+        "config": asdict(config),
+        "profile": asdict(profile),
+        "insts": insts,
+        "seed": seed,
+        "code": fingerprint if fingerprint is not None else code_fingerprint(),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk SimStats cache; safe for concurrent writers (atomic rename)."""
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 fingerprint: Optional[str] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.fingerprint = fingerprint if fingerprint is not None \
+            else code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ keys
+    def key_for(self, config: MachineConfig, profile: WorkloadProfile,
+                insts: int, seed: int) -> str:
+        return point_key(config, profile, insts, seed, self.fingerprint)
+
+    def key_for_point(self, point) -> str:
+        """Key for a :class:`~repro.harness.parallel.SweepPoint`."""
+        from repro.harness.runner import make_config  # avoid import cycle
+
+        config = make_config(point.profile, point.scheme, point.size)
+        return self.key_for(config, point.profile, point.insts, point.seed)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------ access
+    def get(self, key: str) -> Optional[SimStats]:
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                stats = SimStats.from_dict(json.load(handle))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # corrupted/truncated/wrong-schema entry: a miss, not a crash
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, stats: SimStats) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(stats.to_dict(), handle)
+            os.replace(tmp, path)  # atomic on POSIX: readers never see partials
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ maintenance
+    def _entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return list(self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        entries = self._entries()
+        for path in entries:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return len(entries)
+
+    def prune(self, max_entries: int = 50_000) -> int:
+        """Drop the oldest entries (by mtime) beyond ``max_entries``."""
+        entries = self._entries()
+        excess = len(entries) - max_entries
+        if excess <= 0:
+            return 0
+        entries.sort(key=lambda path: path.stat().st_mtime)
+        for path in entries[:excess]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return excess

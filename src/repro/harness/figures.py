@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis import analyze_chains, analyze_stream, measure_shadow_demand
+from repro.harness.parallel import SweepPoint, collect_stats, run_points
 from repro.harness.render import pct, text_table
-from repro.harness.runner import Scale, geomean, run_point, sweep_speedups
+from repro.harness.runner import Scale, geomean, sweep_speedups
 from repro.workloads.generator import SyntheticWorkload
 
 _SUITE_LABELS = {
@@ -215,10 +216,13 @@ class Figure10Result:
                   f"speedup over the baseline at equal area")
 
 
-def figure10(suite: str, scale: Scale | None = None) -> Figure10Result:
+def figure10(suite: str, scale: Scale | None = None, *,
+             jobs: int | None = None, cache=None,
+             progress=None) -> Figure10Result:
     scale = scale or Scale.from_env()
     profiles = _suite_profiles(scale, suite)
-    rows = sweep_speedups(profiles, scale)
+    rows = sweep_speedups(profiles, scale, jobs=jobs, cache=cache,
+                          progress=progress)
     return Figure10Result(suite=suite, sizes=scale.sizes, rows=rows)
 
 
@@ -255,17 +259,25 @@ class Figure11Result:
         return table + f"\niso-IPC register saving: {pct(self.iso_ipc_saving())}"
 
 
-def figure11(scale: Scale | None = None) -> Figure11Result:
+def figure11(scale: Scale | None = None, *, jobs: int | None = None,
+             cache=None, progress=None) -> Figure11Result:
     scale = scale or Scale.from_env()
     profiles = scale.profiles("specint") + scale.profiles("specfp")
+    points = [
+        SweepPoint(profile=profile, scheme=scheme, size=size,
+                   insts=scale.insts, seed=scale.seed)
+        for size in scale.sizes
+        for profile in profiles
+        for scheme in ("conventional", "sharing")
+    ]
+    stats = collect_stats(
+        run_points(points, jobs=jobs, cache=cache, progress=progress))
     result = Figure11Result(sizes=scale.sizes)
     for size in scale.sizes:
-        base, prop = [], []
-        for profile in profiles:
-            baseline = run_point(profile, "conventional", size, scale)
-            proposed = run_point(profile, "sharing", size, scale)
-            base.append(baseline.ipc)
-            prop.append(proposed.ipc)
+        base = [stats[(p.name, "conventional", size, scale.seed)].ipc
+                for p in profiles]
+        prop = [stats[(p.name, "sharing", size, scale.seed)].ipc
+                for p in profiles]
         result.baseline_ipc[size] = sum(base) / len(base)
         result.proposed_ipc[size] = sum(prop) / len(prop)
     return result
@@ -290,16 +302,25 @@ class Figure12Result:
                           title="Figure 12: register-type predictor accuracy")
 
 
-def figure12(scale: Scale | None = None, size: int = 64) -> Figure12Result:
+def figure12(scale: Scale | None = None, size: int = 64, *,
+             jobs: int | None = None, cache=None,
+             progress=None) -> Figure12Result:
     scale = scale or Scale.from_env()
     result = Figure12Result()
+    all_profiles = [profile for suite in ("specint", "specfp")
+                    for profile in _suite_profiles(scale, suite)]
+    points = [SweepPoint(profile=profile, scheme="sharing", size=size,
+                         insts=scale.insts, seed=scale.seed)
+              for profile in all_profiles]
+    by_key = collect_stats(
+        run_points(points, jobs=jobs, cache=cache, progress=progress))
     for suite in ("specint", "specfp"):
         totals = {"reuse correct": 0, "reuse incorrect": 0,
                   "no reuse correct": 0, "no reuse incorrect": 0,
                   "reuse unused": 0}
         releases = 0
         for profile in _suite_profiles(scale, suite):
-            stats = run_point(profile, "sharing", size, scale)
+            stats = by_key[(profile.name, "sharing", size, scale.seed)]
             p = stats.predictor_stats
             totals["reuse correct"] += p.reuse_correct
             totals["reuse incorrect"] += p.reuse_incorrect

@@ -1,0 +1,175 @@
+"""Parallel sweep execution engine.
+
+Every paper figure is a grid of fully independent simulations.  This
+module turns that grid into data: a sweep is a list of
+:class:`SweepPoint` values (benchmark profile x scheme x register-file
+size x instruction count x seed) which :func:`run_points` executes —
+serially for ``jobs=1``, or fanned out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` with chunked submission
+otherwise.  Results cross the process boundary as plain
+:meth:`~repro.pipeline.stats.SimStats.to_dict` dicts (cheap to pickle),
+a crashed simulation is captured as a per-point error instead of killing
+the sweep, and an optional :class:`~repro.harness.cache.ResultCache`
+serves previously computed points without re-simulating.
+
+Determinism: a point's result does not depend on how it was executed —
+``jobs=1``, ``jobs=N`` and the cached path all reproduce bit-identical
+counters, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.pipeline.stats import SimStats
+from repro.workloads.profiles import WorkloadProfile
+
+#: environment default for ``jobs`` when the caller passes None
+JOBS_ENV = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulation of a sweep grid, described declaratively."""
+
+    profile: WorkloadProfile
+    scheme: str
+    size: int  # register-file size under study (the equal-area knob)
+    insts: int
+    seed: int
+
+    @property
+    def benchmark(self) -> str:
+        return self.profile.name
+
+    def label(self) -> str:
+        return (f"{self.profile.name}/{self.scheme}/rf{self.size}"
+                f"/i{self.insts}/s{self.seed}")
+
+
+@dataclass
+class PointResult:
+    point: SweepPoint
+    stats: Optional[SimStats] = None
+    error: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SweepError(RuntimeError):
+    """One or more sweep points failed; carries every per-point error."""
+
+    def __init__(self, failures: list[PointResult]) -> None:
+        self.failures = failures
+        lines = [f"  {result.point.label()}: {result.error}"
+                 for result in failures]
+        super().__init__(
+            f"{len(failures)} sweep point(s) failed:\n" + "\n".join(lines))
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """``jobs`` argument > ``REPRO_JOBS`` env > 1."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"{JOBS_ENV}={env!r} is not an integer")
+        else:
+            jobs = 1
+    return max(1, jobs)
+
+
+def simulate_point(point: SweepPoint) -> SimStats:
+    """Execute one sweep point (pure function of the point)."""
+    from repro.harness.runner import make_config  # avoid import cycle
+    from repro.workloads.generator import shared_workload
+    from repro.pipeline.processor import simulate
+
+    workload = shared_workload(point.profile, point.insts, point.seed)
+    return simulate(make_config(point.profile, point.scheme, point.size),
+                    iter(workload))
+
+
+def _worker(payload: tuple[int, SweepPoint]) -> tuple[int, Optional[dict], Optional[str]]:
+    """Process-pool entry point: never raises, ships results as dicts."""
+    index, point = payload
+    try:
+        return index, simulate_point(point).to_dict(), None
+    except Exception as exc:
+        return index, None, f"{type(exc).__name__}: {exc}"
+
+
+def run_points(
+    points: Iterable[SweepPoint],
+    jobs: Optional[int] = None,
+    cache=None,
+    progress: Optional[Callable[[int, int, PointResult], None]] = None,
+) -> list[PointResult]:
+    """Execute a sweep; returns one :class:`PointResult` per point, in order.
+
+    ``cache`` is a :class:`~repro.harness.cache.ResultCache` (or None);
+    cached points are served without simulating and fresh results are
+    written back.  ``progress(done, total, result)`` fires once per
+    resolved point.
+    """
+    points = list(points)
+    total = len(points)
+    jobs = resolve_jobs(jobs)
+    results: list[Optional[PointResult]] = [None] * total
+    done = 0
+
+    def finish(index: int, result: PointResult) -> None:
+        nonlocal done
+        results[index] = result
+        done += 1
+        if result.ok and not result.cached and cache is not None:
+            cache.put(cache.key_for_point(result.point), result.stats)
+        if progress is not None:
+            progress(done, total, result)
+
+    pending: list[int] = []
+    for index, point in enumerate(points):
+        cached = cache.get(cache.key_for_point(point)) if cache is not None \
+            else None
+        if cached is not None:
+            finish(index, PointResult(point, stats=cached, cached=True))
+        else:
+            pending.append(index)
+
+    if jobs == 1 or len(pending) <= 1:
+        for index in pending:
+            _, stats_dict, error = _worker((index, points[index]))
+            stats = None if stats_dict is None else SimStats.from_dict(stats_dict)
+            finish(index, PointResult(points[index], stats=stats, error=error))
+        return results  # type: ignore[return-value]
+
+    workers = min(jobs, len(pending))
+    # chunked submission amortises pickling/IPC over several points per task
+    chunksize = max(1, len(pending) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        payloads = [(index, points[index]) for index in pending]
+        for index, stats_dict, error in pool.map(_worker, payloads,
+                                                 chunksize=chunksize):
+            stats = None if stats_dict is None else SimStats.from_dict(stats_dict)
+            finish(index, PointResult(points[index], stats=stats, error=error))
+    return results  # type: ignore[return-value]
+
+
+def collect_stats(results: list[PointResult]) -> dict[tuple, SimStats]:
+    """Index successful results by (benchmark, scheme, size, seed); raises
+    :class:`SweepError` if any point failed."""
+    failures = [result for result in results if not result.ok]
+    if failures:
+        raise SweepError(failures)
+    return {
+        (r.point.benchmark, r.point.scheme, r.point.size, r.point.seed): r.stats
+        for r in results
+    }

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
 
+from repro.harness.parallel import SweepPoint, collect_stats, run_points
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.processor import simulate
 from repro.pipeline.stats import SimStats
-from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.generator import shared_workload
 from repro.workloads.profiles import BENCHMARKS, WorkloadProfile, suite
 
 #: Register-file sizes swept in Figures 10 and 11 (paper: 48..112).
@@ -73,14 +75,19 @@ def make_config(profile: WorkloadProfile, scheme: str, size: int) -> MachineConf
 def run_point(profile: WorkloadProfile, scheme: str, size: int,
               scale: Scale, seed: int | None = None) -> SimStats:
     """One simulation: benchmark x scheme x register-file size."""
-    workload = SyntheticWorkload(profile, total_insts=scale.insts,
-                                 seed=seed if seed is not None else scale.seed)
+    workload = shared_workload(
+        profile, scale.insts, seed if seed is not None else scale.seed)
     return simulate(make_config(profile, scheme, size), iter(workload))
 
 
 def run_pair(profile: WorkloadProfile, size: int, scale: Scale,
              seed: int | None = None) -> tuple[SimStats, SimStats]:
-    """(baseline, proposed) at equal area, on the identical workload."""
+    """(baseline, proposed) at equal area, on the identical workload.
+
+    Both runs iterate the *same* shared workload object, so the streams
+    are identical by construction (see
+    :func:`repro.workloads.generator.shared_workload`).
+    """
     return (run_point(profile, "conventional", size, scale, seed),
             run_point(profile, "sharing", size, scale, seed))
 
@@ -91,14 +98,39 @@ class SpeedupRow:
     speedups: dict  # size -> proposed IPC / baseline IPC
 
 
-def sweep_speedups(profiles, scale: Scale) -> list[SpeedupRow]:
+def enumerate_pair_points(profiles, scale: Scale) -> list[SweepPoint]:
+    """The (baseline, proposed) sweep grid as declarative points."""
+    return [
+        SweepPoint(profile=profile, scheme=scheme, size=size,
+                   insts=scale.insts, seed=seed)
+        for profile in profiles
+        for size in scale.sizes
+        for seed in scale.seeds
+        for scheme in ("conventional", "sharing")
+    ]
+
+
+def sweep_speedups(profiles, scale: Scale, *, jobs: int | None = None,
+                   cache=None, progress=None) -> list[SpeedupRow]:
+    """Speedup rows for Figure 10-style sweeps, via the sweep engine.
+
+    ``jobs``/``cache``/``progress`` are forwarded to
+    :func:`repro.harness.parallel.run_points`; the default (``jobs=None``,
+    no cache) resolves ``REPRO_JOBS`` and simulates in-process, producing
+    bit-identical results to any parallel/cached execution.
+    """
+    profiles = list(profiles)
+    points = enumerate_pair_points(profiles, scale)
+    stats = collect_stats(
+        run_points(points, jobs=jobs, cache=cache, progress=progress))
     rows = []
     for profile in profiles:
         speedups = {}
         for size in scale.sizes:
             ratios = []
             for seed in scale.seeds:
-                baseline, proposed = run_pair(profile, size, scale, seed)
+                baseline = stats[(profile.name, "conventional", size, seed)]
+                proposed = stats[(profile.name, "sharing", size, seed)]
                 ratios.append(proposed.ipc / baseline.ipc if baseline.ipc else 1.0)
             speedups[size] = geomean(ratios)
         rows.append(SpeedupRow(profile.name, speedups))
@@ -106,10 +138,9 @@ def sweep_speedups(profiles, scale: Scale) -> list[SpeedupRow]:
 
 
 def geomean(values) -> float:
+    """Geometric mean, accumulated in log space so full-scale sweeps
+    (hundreds of ratios) cannot under/overflow a running product."""
     values = list(values)
     if not values:
         return 1.0
-    product = 1.0
-    for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+    return math.exp(math.fsum(math.log(value) for value in values) / len(values))

@@ -15,24 +15,35 @@ proportional to activity, not to queue size.
 from __future__ import annotations
 
 from itertools import count
-from typing import Callable, Iterable
+from typing import Callable, Optional
 
 from repro.core.renamer import Tag
 from repro.isa.dyninst import DynInst
 
 
-class _Entry:
-    __slots__ = ("dyn", "waiting", "ticket", "removed")
+def _ticket_of(entry: "_Entry") -> int:
+    return entry.ticket
 
-    def __init__(self, dyn: DynInst, waiting: set[Tag], ticket: int) -> None:
+
+class _Entry:
+    __slots__ = ("dyn", "waiting", "ticket", "removed", "in_ready")
+
+    def __init__(self, dyn: DynInst, waiting: Optional[set[Tag]],
+                 ticket: int) -> None:
         self.dyn = dyn
-        self.waiting = waiting  # source tags not yet produced
+        self.waiting = waiting  # source tags not yet produced (None = none)
         self.ticket = ticket
         self.removed = False
+        self.in_ready = waiting is None
 
 
 class IssueQueue:
-    """Unified issue queue, oldest-first select."""
+    """Unified issue queue, oldest-first select.
+
+    The ready list is maintained incrementally and only re-filtered /
+    re-sorted / re-materialised when something actually changed since the
+    last select — an idle or stalled cycle costs O(1), not O(ready).
+    """
 
     def __init__(self, size: int) -> None:
         self.size = size
@@ -41,6 +52,9 @@ class IssueQueue:
         self._by_dyn: dict[int, _Entry] = {}
         self._by_tag: dict[Tag, list[_Entry]] = {}
         self._ready: list[_Entry] = []
+        self._ready_dirty = False  # appended since the last sort
+        self._ready_stale = False  # removals left dead entries in the list
+        self._ready_view: Optional[list[DynInst]] = None
 
     def __len__(self) -> int:
         return self._size
@@ -52,15 +66,26 @@ class IssueQueue:
     def insert(self, dyn: DynInst, is_ready: Callable[[Tag], bool]) -> None:
         if self._size >= self.size:
             raise AssertionError("issue queue overflow")
-        waiting = {tag for tag in dyn.src_tags if not is_ready(tag)}
+        # build the waiting set lazily: the common case (all sources
+        # already produced) allocates nothing
+        waiting: Optional[set[Tag]] = None
+        for tag in dyn.src_tags:
+            if not is_ready(tag):
+                if waiting is None:
+                    waiting = {tag}
+                else:
+                    waiting.add(tag)
         entry = _Entry(dyn, waiting, next(self._ticket))
         self._by_dyn[id(dyn)] = entry
         self._size += 1
         if waiting:
+            by_tag = self._by_tag
             for tag in waiting:
-                self._by_tag.setdefault(tag, []).append(entry)
+                by_tag.setdefault(tag, []).append(entry)
         else:
             self._ready.append(entry)
+            self._ready_dirty = True
+            self._ready_view = None
 
     def wakeup(self, tag: Tag) -> None:
         """Broadcast a produced tag: wake consumers waiting on this version."""
@@ -72,16 +97,29 @@ class IssueQueue:
                 continue
             entry.waiting.discard(tag)
             if not entry.waiting:
+                entry.in_ready = True
                 self._ready.append(entry)
+                self._ready_dirty = True
+                self._ready_view = None
 
     def ready_entries(self) -> list[DynInst]:
         """Ready instructions, oldest first."""
-        if not self._ready:
-            return []
-        live = [entry for entry in self._ready if not entry.removed]
-        live.sort(key=lambda entry: entry.ticket)
-        self._ready = live
-        return [entry.dyn for entry in live]
+        ready = self._ready
+        if not ready:
+            return ready  # empty; callers only iterate
+        if self._ready_stale:
+            # filtering preserves order, so no re-sort needed for removals
+            ready = [entry for entry in ready if not entry.removed]
+            self._ready = ready
+            self._ready_stale = False
+            self._ready_view = None
+        if self._ready_dirty:
+            ready.sort(key=_ticket_of)
+            self._ready_dirty = False
+            self._ready_view = None
+        if self._ready_view is None:
+            self._ready_view = [entry.dyn for entry in ready]
+        return self._ready_view
 
     def remove(self, dyn: DynInst) -> None:
         entry = self._by_dyn.pop(id(dyn), None)
@@ -89,6 +127,9 @@ class IssueQueue:
             raise AssertionError("instruction not in issue queue")
         entry.removed = True
         self._size -= 1
+        if entry.in_ready:
+            self._ready_stale = True
+            self._ready_view = None
 
     def discard(self, dyn: DynInst) -> bool:
         """Remove ``dyn`` if present (squash); returns whether it was."""
@@ -97,6 +138,9 @@ class IssueQueue:
             return False
         entry.removed = True
         self._size -= 1
+        if entry.in_ready:
+            self._ready_stale = True
+            self._ready_view = None
         return True
 
     def flush(self) -> None:
@@ -104,3 +148,6 @@ class IssueQueue:
         self._by_tag.clear()
         self._ready.clear()
         self._size = 0
+        self._ready_dirty = False
+        self._ready_stale = False
+        self._ready_view = None

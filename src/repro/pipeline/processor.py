@@ -303,6 +303,9 @@ class Processor:
 
     # ------------------------------------------------------------------ writeback
     def _writeback(self) -> None:
+        completion = self.completion
+        if not completion or completion[0][0] > self.cycle:
+            return  # nothing completes this cycle: stay allocation-free
         write_ports = self.config.rf_write_ports
         writes_used = [0, 0]  # per register class
         while self.completion and self.completion[0][0] <= self.cycle:
@@ -337,11 +340,15 @@ class Processor:
 
     # ------------------------------------------------------------------ issue
     def _issue(self) -> None:
+        ready = self.iq.ready_entries()
+        if not ready:
+            return
         issued = 0
+        issue_width = self.config.issue_width
         read_ports = self.config.rf_read_ports
-        reads_used = [0, 0]  # per register class
-        for dyn in self.iq.ready_entries():
-            if issued >= self.config.issue_width:
+        reads_used = [0, 0] if read_ports is not None else None
+        for dyn in ready:
+            if issued >= issue_width:
                 break
             info = dyn.info
             if info.is_load and not dyn.faults and not self.lsq.load_can_issue(dyn):

@@ -5,6 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+#: SimStats fields that hold component-stats objects rather than counters.
+_COMPONENT_FIELDS = ("renamer_stats", "branch_stats", "predictor_stats")
+
 
 @dataclass
 class SimStats:
@@ -64,6 +67,51 @@ class SimStats:
     def avg_free_regs(self) -> float:
         return self.free_regs_sum / self.occupancy_samples \
             if self.occupancy_samples else 0.0
+
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        """Plain-dict snapshot: JSON-able, and much cheaper to pickle than
+        the live object graph (used by the result cache and when shipping
+        results back from sweep worker processes)."""
+        payload = dict(vars(self))
+        for name in _COMPONENT_FIELDS:
+            component = payload[name]
+            payload[name] = None if component is None else dict(vars(component))
+        payload["cache_stats"] = {
+            name: dict(vars(component))
+            for name, component in self.cache_stats.items()
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimStats":
+        """Inverse of :meth:`to_dict`; rebuilds the component-stats
+        dataclasses so properties (``ipc``, ``miss_rate``, ...) work."""
+        # lazy imports: stats is a leaf module and must stay cheap to import
+        from repro.core.renamer import RenameStats
+        from repro.core.type_predictor import PredictorStats
+        from repro.frontend.branch_predictor import BranchStats
+        from repro.mem.cache import CacheStats
+        from repro.mem.dram import DRAMStats
+        from repro.mem.tlb import TLBStats
+
+        component_types = {"renamer_stats": RenameStats,
+                           "branch_stats": BranchStats,
+                           "predictor_stats": PredictorStats}
+        cache_types = {"l1i": CacheStats, "l1d": CacheStats, "l2": CacheStats,
+                       "tlb": TLBStats, "dram": DRAMStats}
+        data = dict(payload)
+        components = {name: data.pop(name, None) for name in _COMPONENT_FIELDS}
+        caches = data.pop("cache_stats", {}) or {}
+        stats = cls(**data)
+        for name, fields_dict in components.items():
+            if fields_dict is not None:
+                setattr(stats, name, component_types[name](**fields_dict))
+        stats.cache_stats = {
+            name: cache_types[name](**fields_dict)
+            for name, fields_dict in caches.items() if name in cache_types
+        }
+        return stats
 
     @property
     def total_rename_stalls(self) -> int:

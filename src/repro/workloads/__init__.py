@@ -24,7 +24,7 @@ from repro.workloads.profiles import (
     COGNITIVE,
     suite,
 )
-from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.generator import SyntheticWorkload, shared_workload
 from repro.workloads.kernels import KERNELS, Kernel
 from repro.workloads.kernels_extra import EXTRA_KERNELS
 from repro.workloads.lookahead import annotate_hints
@@ -60,4 +60,5 @@ __all__ = [
     "COGNITIVE",
     "suite",
     "SyntheticWorkload",
+    "shared_workload",
 ]

@@ -12,6 +12,7 @@ from repro.workloads import (
     SPECFP,
     SPECINT,
     SyntheticWorkload,
+    shared_workload,
     suite,
 )
 
@@ -142,3 +143,47 @@ def test_mispredict_rate_reflects_hard_branches():
     cfg = MachineConfig(scheme="conventional", int_regs=96, fp_regs=96)
     hard_stats = simulate(cfg, iter(hard))
     assert hard_stats.branch_stats.accuracy < easy_stats.branch_stats.accuracy
+
+
+# ---------------------------------------------------------------- shared workloads
+def _stream_signature(workload):
+    return [
+        (d.seq, d.pc, d.op, d.dest, d.srcs, d.src_values, d.result,
+         d.mem_addr, d.taken, d.target, d.next_pc)
+        for d in workload
+    ]
+
+
+def test_shared_workload_returns_one_instance():
+    profile = BENCHMARKS["gsm"]
+    a = shared_workload(profile, 1000, seed=3)
+    b = shared_workload(profile, 1000, seed=3)
+    assert a is b
+    assert shared_workload(profile, 1000, seed=4) is not a
+    assert shared_workload(BENCHMARKS["mcf"], 1000, seed=3) is not a
+
+
+def test_shared_workload_iterations_are_identical():
+    """Baseline and proposed runs of a sweep point iterate the same shared
+    instance; every iteration must yield the identical dynamic stream."""
+    workload = shared_workload(BENCHMARKS["gcc"], 2000, seed=1)
+    first = _stream_signature(workload)
+    second = _stream_signature(workload)
+    assert first == second
+    # and the shared instance matches a freshly built workload
+    fresh = SyntheticWorkload(BENCHMARKS["gcc"], total_insts=2000, seed=1)
+    assert _stream_signature(fresh) == first
+
+
+def test_run_pair_sees_identical_streams():
+    """The two sides of run_pair must observe the same instructions: same
+    PCs, values and branch outcomes (commit counts prove the stream length;
+    the verified src_values prove the dataflow)."""
+    from repro.harness.runner import Scale, run_pair
+
+    scale = Scale(insts=800, sizes=(48,))
+    baseline, proposed = run_pair(BENCHMARKS["adpcm"], 48, scale)
+    assert baseline.committed == proposed.committed == scale.insts
+    assert baseline.loads == proposed.loads
+    assert baseline.stores == proposed.stores
+    assert baseline.branch_stats.branches == proposed.branch_stats.branches

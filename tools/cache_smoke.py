@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""CI smoke test for the sweep engine + result cache.
+
+Runs a tiny 2-job sweep twice against a throwaway cache directory and
+asserts that
+
+* the cold run computes every point (all misses),
+* the warm run is served entirely from cache (hit count == point count),
+* both runs and a serial no-cache run produce bit-identical speedups.
+
+Exits non-zero (with a diagnostic) on any violation; prints the hit
+count on success so CI logs show the cache actually engaged.
+"""
+
+import pathlib
+import sys
+import tempfile
+
+try:
+    import repro  # noqa: F401  (installed package)
+except ImportError:  # fall back to a source checkout
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.cache import ResultCache
+from repro.harness.runner import Scale, sweep_speedups
+from repro.workloads.profiles import BENCHMARKS
+
+
+def main() -> int:
+    profiles = [BENCHMARKS["gsm"], BENCHMARKS["adpcm"]]
+    scale = Scale(insts=1_500, sizes=(48, 96), seeds=(1,))
+    n_points = len(profiles) * len(scale.sizes) * len(scale.seeds) * 2
+
+    def rows(result):
+        return [(row.benchmark, row.speedups) for row in result]
+
+    serial = rows(sweep_speedups(profiles, scale, jobs=1))
+
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as tmp:
+        cold_cache = ResultCache(tmp)
+        cold = rows(sweep_speedups(profiles, scale, jobs=2, cache=cold_cache))
+        if cold_cache.hits != 0 or cold_cache.misses != n_points:
+            print(f"FAIL: cold run expected 0 hits / {n_points} misses, "
+                  f"got {cold_cache.hits} / {cold_cache.misses}")
+            return 1
+
+        warm_cache = ResultCache(tmp)
+        warm = rows(sweep_speedups(profiles, scale, jobs=2, cache=warm_cache))
+        if warm_cache.hits != n_points or warm_cache.misses != 0:
+            print(f"FAIL: warm run expected {n_points} hits / 0 misses, "
+                  f"got {warm_cache.hits} / {warm_cache.misses}")
+            return 1
+
+        if not (serial == cold == warm):
+            print("FAIL: serial / parallel-cold / cached-warm results diverge")
+            print("  serial:", serial)
+            print("  cold:  ", cold)
+            print("  warm:  ", warm)
+            return 1
+
+    print(f"cache smoke OK: {n_points} points, warm run served "
+          f"{warm_cache.hits}/{n_points} from cache, results bit-identical "
+          f"across serial, 2-job cold and cached warm executions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
