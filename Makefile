@@ -4,7 +4,7 @@ PYTHON ?= python
 JOBS ?= 4
 
 .PHONY: install test bench bench-parallel bench-full repro examples \
-	cache-smoke lint-goldens clean
+	cache-smoke verify fuzz fuzz-smoke lint-goldens clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,20 @@ bench-full:
 
 cache-smoke:
 	$(PYTHON) tools/cache_smoke.py
+
+# oracle-checked kernel battery: every scheme, lockstep vs the golden model
+verify:
+	PYTHONPATH=src $(PYTHON) -m repro verify --all-schemes --faults --interrupts
+
+# quick CI gate: 25 seeded random programs, all schemes, oracle+invariants on
+fuzz-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --count 25
+
+# longer local fuzzing run (FUZZ_COUNT and FUZZ_SEED are overridable)
+FUZZ_COUNT ?= 250
+FUZZ_SEED ?= 0
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --count $(FUZZ_COUNT) --seed $(FUZZ_SEED)
 
 repro:
 	$(PYTHON) examples/reproduce_paper.py

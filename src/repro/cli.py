@@ -8,11 +8,20 @@ Usage::
     python -m repro figures [fig1 fig2 ... | all]
     python -m repro kernels [--list | NAME]
     python -m repro motivation NAME    # Figures 1-3 stats for one benchmark
+    python -m repro verify [--scheme sharing | --all-schemes] [--faults ...]
+    python -m repro fuzz [--count 25] [--seed 0] [--out DIR]
+    python -m repro fuzz --replay REPRODUCER.json
 
 ``run`` executes an assembly file through the timing pipeline; ``bench``
 runs one synthetic benchmark profile; ``compare`` sweeps register-file
 sizes for baseline vs proposed; ``figures`` regenerates the paper's
 tables/figures; ``motivation`` prints the dataflow analysis.
+
+``verify`` runs every kernel through the pipeline in lockstep with the
+in-order golden model (the commit-time differential oracle,
+:mod:`repro.verify.oracle`) with invariant checking on; ``fuzz`` runs the
+seeded random-program fuzzer (:mod:`repro.verify.fuzz`) across all rename
+schemes and shrinks failures to on-disk reproducers.
 
 ``compare`` and ``figures`` execute their simulation grids through the
 sweep engine: ``--jobs N`` (default: ``REPRO_JOBS`` env, else 1) fans the
@@ -207,6 +216,87 @@ def cmd_kernels(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Oracle-checked kernel battery: the commit-time differential oracle
+    plus cross-structure invariants, over every kernel program."""
+    from repro.isa.executor import FirstTouchFaults
+    from repro.pipeline.debug import check_invariants
+    from repro.verify.oracle import lockstep_run
+
+    schemes = (["conventional", "sharing", "hinted", "early"]
+               if args.all_schemes else [args.scheme])
+    names = [args.kernel] if args.kernel else sorted(KERNELS)
+    for name in names:
+        if name not in KERNELS:
+            print(f"unknown kernel {name!r}", file=sys.stderr)
+            return 1
+    failures = 0
+    for scheme in schemes:
+        variants = [("plain", {}, None)]
+        if scheme != "early":  # early release has no precise state
+            if args.faults:
+                variants.append(("faults", {}, FirstTouchFaults))
+            if args.interrupts:
+                variants.append(("interrupts", {"interrupt_interval": 500},
+                                 None))
+        for name in names:
+            program = KERNELS[name]().program
+            for label, overrides, fault_cls in variants:
+                config = MachineConfig(
+                    scheme=scheme, int_regs=args.int_regs,
+                    fp_regs=args.fp_regs, counter_bits=args.counter_bits,
+                    verify_values=not args.no_verify, **overrides)
+                try:
+                    stats = lockstep_run(
+                        config, program,
+                        fault_model=fault_cls() if fault_cls else None,
+                        on_cycle=check_invariants,
+                        on_cycle_interval=args.check_interval)
+                except AssertionError as exc:
+                    failures += 1
+                    print(f"FAIL  {scheme:12s} {name:10s} {label}: {exc}")
+                else:
+                    print(f"ok    {scheme:12s} {name:10s} {label:10s} "
+                          f"{stats.committed} insts, ipc={stats.ipc:.2f}")
+    if failures:
+        print(f"{failures} verification failure(s)", file=sys.stderr)
+        return 1
+    print("all verification runs passed")
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.verify.fuzz import ALL_SCHEMES, FuzzFailure, FuzzProgram, fuzz, run_case
+
+    schemes = (tuple(args.schemes.split(","))
+               if args.schemes else ALL_SCHEMES)
+    if args.replay:
+        try:
+            fp = FuzzProgram.load(args.replay)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load reproducer {args.replay!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        try:
+            counts = run_case(fp, schemes=schemes)
+        except FuzzFailure as failure:
+            print(f"FAIL  {failure}")
+            return 1
+        print(f"ok    seed {fp.seed} ({fp.variant}), "
+              f"{fp.instruction_count()} IR instructions: "
+              + ", ".join(f"{s}={n}" for s, n in counts.items()))
+        return 0
+    failures = fuzz(count=args.count, seed_base=args.seed, size=args.size,
+                    schemes=schemes, out_dir=args.out, log=print)
+    if failures:
+        print(f"{len(failures)} fuzz failure(s); reproducers in {args.out}",
+              file=sys.stderr)
+        return 1
+    print(f"fuzz campaign clean: {args.count} programs, "
+          f"schemes {', '.join(schemes)}")
+    return 0
+
+
 def cmd_motivation(args) -> int:
     if args.name not in BENCHMARKS:
         print(f"unknown benchmark {args.name!r}", file=sys.stderr)
@@ -268,6 +358,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_ker.add_argument("--list", action="store_true")
     _machine_args(p_ker)
     p_ker.set_defaults(fn=cmd_kernels)
+
+    p_ver = sub.add_parser(
+        "verify", help="oracle-checked kernel battery (differential "
+        "lockstep against the in-order golden model)")
+    p_ver.add_argument("--kernel", default=None,
+                       help="verify one kernel (default: all)")
+    p_ver.add_argument("--all-schemes", action="store_true",
+                       help="verify every rename scheme")
+    p_ver.add_argument("--faults", action="store_true",
+                       help="also run a first-touch page-fault variant")
+    p_ver.add_argument("--interrupts", action="store_true",
+                       help="also run a periodic-interrupt variant")
+    p_ver.add_argument("--check-interval", type=int, default=16,
+                       help="invariant-check interval in cycles")
+    _machine_args(p_ver)
+    p_ver.set_defaults(fn=cmd_verify)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="random-program fuzzer across all rename schemes")
+    p_fuzz.add_argument("--count", type=int, default=25,
+                        help="number of seeded programs")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed (program i uses seed+i)")
+    p_fuzz.add_argument("--size", type=int, default=40,
+                        help="IR items per generated program")
+    p_fuzz.add_argument("--schemes", default=None,
+                        help="comma-separated scheme subset")
+    p_fuzz.add_argument("--out", default="fuzz-failures",
+                        help="directory for shrunk reproducers")
+    p_fuzz.add_argument("--replay", default=None, metavar="FILE",
+                        help="replay one reproducer instead of fuzzing")
+    p_fuzz.set_defaults(fn=cmd_fuzz)
 
     p_mot = sub.add_parser("motivation", help="Figures 1-3 stats for a benchmark")
     p_mot.add_argument("name")

@@ -75,6 +75,12 @@ class EarlyReleaseRenamer(BaseRenamer):
 
     tracks_operand_reads = True
 
+    #: a register can be released (and reallocated) as soon as its last
+    #: consumer reads it — possibly before its producer commits — so the
+    #: PRF value at commit time is unstable; only the quiesced final state
+    #: (retirement map == rename map) is safe to inspect
+    commit_time_value_stable = False
+
     def __init__(self, int_regs: int, fp_regs: int) -> None:
         self.domains = {
             RegClass.INT: _Domain(INT_REGS, int_regs),

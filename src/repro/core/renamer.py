@@ -62,6 +62,12 @@ class BaseRenamer:
     #: early-release comparator tracks pending reads)
     tracks_operand_reads = False
 
+    #: cleared by schemes that may release a destination register before
+    #: its redefining instruction commits: the value standing in the
+    #: physical register file at commit time is then not guaranteed to be
+    #: the committed value, and commit-time value oracles must skip it
+    commit_time_value_stable = True
+
     def on_operand_read(self, tag: Tag) -> None:
         """Pipeline hook: a consumer read this operand at issue."""
 

@@ -103,6 +103,24 @@ class ArchState:
     def regs_equal(self, other: "ArchState") -> bool:
         return self.int_regs == other.int_regs and self.fp_regs == other.fp_regs
 
+    def diff_regs(self, int_regs: list, fp_regs: list) -> list[str]:
+        """Registers where this state differs from the given register dump.
+
+        NaN compares equal to NaN.  Returns human-readable entries such as
+        ``"x3: expected 7, got 9"`` (expected = this state); empty when the
+        register states agree.
+        """
+        def same(a, b) -> bool:
+            return a == b or (a != a and b != b)
+
+        diffs = []
+        for prefix, mine, theirs in (("x", self.int_regs, int_regs),
+                                     ("f", self.fp_regs, fp_regs)):
+            for idx, (a, b) in enumerate(zip(mine, theirs)):
+                if not same(a, b):
+                    diffs.append(f"{prefix}{idx}: expected {a!r}, got {b!r}")
+        return diffs
+
 
 def _fdiv(a: float, b: float) -> float:
     if b == 0.0:

@@ -10,6 +10,7 @@ happens rather than thousands of cycles later.
 from __future__ import annotations
 
 from repro.core.conventional import ConventionalRenamer
+from repro.core.early_release import EarlyReleaseRenamer
 from repro.core.sharing import SharingRenamer
 from repro.isa.registers import RegClass
 
@@ -80,6 +81,37 @@ def check_conventional_renamer(renamer: ConventionalRenamer) -> None:
                      f"{cls}: retirement map x{logical} -> freed register")
 
 
+def check_early_renamer(renamer: EarlyReleaseRenamer) -> None:
+    """Invariants internal to the early-release renamer.
+
+    Note the *retirement* map is deliberately unchecked against the free
+    list: releasing registers the committed state still references is the
+    scheme's defining (and precision-breaking) behaviour.
+    """
+    for cls, domain in renamer.domains.items():
+        free = set(domain.free)
+        _require(len(free) == len(domain.free),
+                 f"{cls}: duplicate entries in free list")
+        for logical, tag in enumerate(domain.map.entries):
+            _require(tag is not None, f"{cls}: unmapped logical {logical}")
+            _require(tag[0] not in free,
+                     f"{cls}: rename map x{logical} -> freed p{tag[0]}")
+        for phys, state in enumerate(domain.state):
+            if state.released:
+                _require(phys in free,
+                         f"{cls}: p{phys} marked released but not free")
+            elif phys in free:
+                # only never-yet-allocated spares may sit on the free list
+                # without the released flag
+                _require(state.generation == 0 and not state.produced,
+                         f"{cls}: allocated p{phys} free without release")
+            _require(state.pending_reads >= 0,
+                     f"{cls}: negative pending reads on p{phys}")
+            _require(not (state.released and state.pending_reads > 0),
+                     f"{cls}: p{phys} released with "
+                     f"{state.pending_reads} reads pending")
+
+
 def check_invariants(processor) -> None:
     """Full cross-structure check; raises InvariantViolation on failure."""
     renamer = processor.renamer
@@ -87,6 +119,8 @@ def check_invariants(processor) -> None:
         check_sharing_renamer(renamer)
     elif isinstance(renamer, ConventionalRenamer):
         check_conventional_renamer(renamer)
+    elif isinstance(renamer, EarlyReleaseRenamer):
+        check_early_renamer(renamer)
 
     # queue occupancy within bounds
     _require(0 <= len(processor.rob) <= processor.config.rob_size,

@@ -60,12 +60,28 @@ class Processor:
         fault_model: Optional[FaultModel] = None,
         on_cycle=None,
         on_cycle_interval: int = 128,
+        on_commit=None,
+        on_halt=None,
+        oracle=False,
         keep_trace: bool = False,
     ) -> None:
         self.config = config
         self.fault_model = fault_model
         self.on_cycle = on_cycle
         self.on_cycle_interval = on_cycle_interval
+        #: per-commit hook: called as on_commit(processor, dyn) for every
+        #: committed ROB head (including micro-ops and HALT)
+        self.on_commit = on_commit
+        #: end-of-run hook: called as on_halt(processor) after _finalize()
+        self.on_halt = on_halt
+        if oracle is True:
+            # convenience: stream-mode differential oracle (checks commit
+            # order and PRF values against the functionally recorded stream)
+            from repro.verify.oracle import OracleChecker
+
+            oracle = OracleChecker()
+        #: commit-time differential oracle (repro.verify.oracle), or None
+        self.oracle = oracle or None
         #: committed instructions in commit order (when keep_trace is set)
         self.trace: Optional[list[DynInst]] = [] if keep_trace else None
         self.hierarchy = config.make_hierarchy()
@@ -167,6 +183,16 @@ class Processor:
                     f"rob={len(self.rob)} iq={len(self.iq)} head={self.rob.head()}"
                 )
         self._finalize()
+        # final unconditional invariant check: the interval hook only fires
+        # every on_cycle_interval cycles, so corruption in the trailing
+        # (interval - 1) cycles would otherwise escape unchecked
+        if self.on_cycle is not None and self.cycle % self.on_cycle_interval != 0:
+            self.on_cycle(self)
+        if self.oracle is not None:
+            complete = self._halted or (self.fetch.eof and len(self.rob) == 0)
+            self.oracle.on_halt(self, complete=complete)
+        if self.on_halt is not None:
+            self.on_halt(self)
         return self.stats
 
     def _done(self, max_insts: Optional[int]) -> bool:
@@ -221,6 +247,10 @@ class Processor:
                 self.stats.committed_uops += 1
             else:
                 self.stats.committed += 1
+            if self.oracle is not None:
+                self.oracle.on_commit(self, head)
+            if self.on_commit is not None:
+                self.on_commit(self, head)
             if head.op is Op.HALT:
                 self._halted = True
                 return
@@ -456,19 +486,34 @@ def simulate(
     fault_model: Optional[FaultModel] = None,
     max_insts: Optional[int] = None,
     program_budget: int = 10_000_000,
+    oracle: bool = False,
 ) -> SimStats:
     """Run one simulation and return its statistics.
 
     ``workload`` may be an assembled :class:`Program` (executed
     functionally), an :class:`InstSource`, or any iterable of
     :class:`DynInst` (e.g. a workload generator).
+
+    With ``oracle=True`` the commit-time differential oracle
+    (:mod:`repro.verify.oracle`) is attached: program workloads get the
+    full lockstep golden-model comparison, other workloads the stream-mode
+    checks.
     """
+    checker = False
     if isinstance(workload, Program):
         executor = FunctionalExecutor(workload, fault_model=fault_model)
         source: InstSource = IterSource(executor.run(program_budget))
+        if oracle:
+            from repro.verify.oracle import OracleChecker
+
+            checker = OracleChecker(program=workload,
+                                    source_state=executor.state)
     elif hasattr(workload, "next_inst"):
         source = workload  # type: ignore[assignment]
+        checker = oracle
     else:
         source = IterSource(workload)
-    processor = Processor(config, source, fault_model=fault_model)
+        checker = oracle
+    processor = Processor(config, source, fault_model=fault_model,
+                          oracle=checker)
     return processor.run(max_insts=max_insts)

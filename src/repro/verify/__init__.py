@@ -1,0 +1,60 @@
+"""End-to-end verification: differential oracle + random-program fuzzer.
+
+The sharing renamer's whole value proposition is that register reuse,
+versioned tags and shadow-cell checkpointing are *invisible* to
+architectural state.  This package is the correctness backstop that keeps
+that claim true as the simulator grows:
+
+* :mod:`repro.verify.oracle` — a **commit-time differential oracle**.
+  :class:`OracleChecker` runs the in-order :class:`~repro.isa.executor.FunctionalExecutor`
+  in lockstep with the out-of-order :class:`~repro.pipeline.processor.Processor`
+  and compares, at every commit, the committed destination value (read
+  through the rename tag from the physical register file), memory effects
+  and control flow — and at halt the full architectural register state.
+  Any mismatch raises :class:`DivergenceError` pinpointing the first
+  divergent instruction with a window of the preceding commits.
+
+* :mod:`repro.verify.fuzz` — a **random-program fuzzer**.  Seeded random
+  programs (weighted opcode mix with loads/stores, branches, fma/csel,
+  faults and interrupts) run under all rename schemes with the oracle and
+  invariant checking enabled; committed-instruction streams are
+  cross-checked between schemes, and failing programs are shrunk to a
+  minimal reproducer written to disk for replay.
+
+Run it from the command line::
+
+    python -m repro verify --scheme sharing     # oracle-checked battery
+    python -m repro fuzz --count 25             # fuzz 25 seeded programs
+    python -m repro fuzz --replay repro.json    # replay a reproducer
+"""
+
+from repro.verify.oracle import (CommitRecord, DivergenceError, OracleChecker,
+                                 lockstep_run)
+
+__all__ = [
+    "CommitRecord",
+    "DivergenceError",
+    "OracleChecker",
+    "lockstep_run",
+    # lazily re-exported from repro.verify.fuzz (see __getattr__)
+    "FuzzFailure",
+    "FuzzProgram",
+    "fuzz",
+    "generate",
+    "run_case",
+    "shrink",
+]
+
+_FUZZ_NAMES = {"FuzzFailure", "FuzzProgram", "fuzz", "generate", "run_case",
+               "shrink"}
+
+
+def __getattr__(name):
+    # fuzz imports the pipeline; loading it lazily keeps
+    # ``repro.pipeline.processor`` -> ``repro.verify.oracle`` import-cycle
+    # free when the processor wires up an oracle.
+    if name in _FUZZ_NAMES:
+        from repro.verify import fuzz as _fuzz
+
+        return getattr(_fuzz, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

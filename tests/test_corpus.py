@@ -1,0 +1,33 @@
+"""Golden-replay corpus: checked-in fuzzer reproducers.
+
+Every ``tests/corpus/*.json`` file is a minimal :class:`FuzzProgram`
+reproducer (hand-reduced or shrunk from a past fuzzing campaign) replayed
+under every applicable rename scheme with the commit-time oracle and
+invariant checking on; ``run_case`` additionally asserts all schemes commit
+the identical instruction stream.  New regressions join the corpus by
+dropping the shrunk reproducer the fuzzer wrote into this directory.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.fuzz import FuzzProgram, run_case, schemes_for
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no reproducers in {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[p.stem for p in CORPUS])
+def test_corpus_replay_commits_identical_streams(path):
+    fp = FuzzProgram.load(path)
+    counts = run_case(fp)  # raises FuzzFailure on any divergence
+    schemes = schemes_for(fp.variant)
+    assert set(counts) == set(schemes)
+    # all schemes committed the same number of architectural instructions
+    assert len(set(counts.values())) == 1, counts
+    assert all(count > 0 for count in counts.values())

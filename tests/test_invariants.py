@@ -41,7 +41,8 @@ loop: ld   x4, 0(x1)
 """
 
 
-@pytest.mark.parametrize("scheme", ["conventional", "sharing"])
+@pytest.mark.parametrize("scheme", ["conventional", "sharing", "hinted",
+                                    "early"])
 def test_invariants_hold_through_program(scheme):
     stats = run_checked(PROGRAM, scheme)
     assert stats.committed > 0
@@ -80,3 +81,46 @@ def test_invariant_checker_detects_corruption():
     domain.free.release(mapped_phys)
     with pytest.raises(InvariantViolation):
         check_invariants(processor)
+
+
+def test_invariant_checker_detects_early_release_corruption():
+    config = MachineConfig(scheme="early", int_regs=48, fp_regs=48)
+    executor = FunctionalExecutor(assemble(PROGRAM))
+    processor = Processor(config, IterSource(executor.run(200_000)))
+    from repro.isa.registers import RegClass
+
+    domain = processor.renamer.domains[RegClass.INT]
+    mapped_phys = domain.map.get(1)[0]
+    domain.free.append(mapped_phys)
+    with pytest.raises(InvariantViolation):
+        check_invariants(processor)
+
+
+# ------------------------------------------------------- on_cycle scheduling
+def _run_recording_cycles(interval):
+    """Run PROGRAM with an on_cycle hook that records its firing cycles."""
+    calls = []
+    config = MachineConfig(scheme="sharing", int_regs=48, fp_regs=48)
+    executor = FunctionalExecutor(assemble(PROGRAM))
+    processor = Processor(config, IterSource(executor.run(200_000)),
+                          on_cycle=lambda p: calls.append(p.cycle),
+                          on_cycle_interval=interval)
+    processor.run()
+    return calls, processor.cycle
+
+
+def test_on_cycle_interval_and_final_check():
+    """The hook fires on every interval boundary, plus one final
+    unconditional call at the end-of-run cycle."""
+    calls, final_cycle = _run_recording_cycles(16)
+    expected = [c for c in range(16, final_cycle + 1, 16)]
+    if final_cycle % 16 != 0:
+        expected.append(final_cycle)
+    assert calls == expected
+    assert calls[-1] == final_cycle
+
+
+def test_on_cycle_fires_at_halt_even_with_huge_interval():
+    """An interval longer than the whole run still yields the final check."""
+    calls, final_cycle = _run_recording_cycles(1_000_000)
+    assert calls == [final_cycle]

@@ -16,6 +16,7 @@ from repro.core.prt import PhysicalRegisterTable
 from repro.core.register_file import RegisterFileConfig
 from repro.frontend.fetch import IterSource
 from repro.isa import FirstTouchFaults
+from repro.isa.dyninst import DynInst
 from repro.isa.executor import FunctionalExecutor, run_to_completion
 from repro.isa.instruction import Instruction
 from repro.isa.memory import SparseMemory
@@ -119,6 +120,107 @@ def test_map_table_copy_and_diff(updates):
     other.copy_from(table)
     assert table.diff_count(other) == 0
     assert other.physical_regs() == table.physical_regs()
+
+
+# ------------------------------------------------- sharing renamer sequences
+def _make_sharing_renamer():
+    """A tight configuration (one spare beyond the 32 logicals per class,
+    small shadow banks) so random sequences hit allocation pressure,
+    reuse, repair and release constantly."""
+    from repro.core.sharing import SharingRenamer
+
+    config = RegisterFileConfig(bank_sizes=(33, 2, 2, 2))
+    return SharingRenamer(config, RegisterFileConfig(bank_sizes=(33, 2, 2, 2)),
+                          counter_bits=2)
+
+
+def _rename_dyn(seq, cls_is_fp, dest_idx, src_idx):
+    from repro.isa.registers import freg, xreg
+
+    make = freg if cls_is_fp else xreg
+    return DynInst(
+        seq=seq, pc=(seq * 7) % 97,
+        op=Op.FADD if cls_is_fp else Op.ADD,
+        dest=make(dest_idx), srcs=(make(src_idx), make(dest_idx)),
+        src_values=(0.0, 0.0) if cls_is_fp else (0, 0),
+    )
+
+
+def _assert_sharing_conservation(renamer, in_flight):
+    """Free-list conservation: the free set is exactly the complement of the
+    live set (spec map ∪ committed-referenced ∪ in-flight destinations),
+    and every live tag's version is within the counter bound."""
+    from repro.isa.registers import RegClass
+
+    for cls, domain in renamer.domains.items():
+        total = domain.config.total_regs
+        free = {p for p in range(total) if domain.free.contains(p)}
+        live = {tag[0] for tag in domain.map.entries}
+        live |= {p for p in range(total) if domain.refcount[p] > 0}
+        for group in in_flight:
+            for dyn in group:
+                tag = dyn.dest_tag
+                if tag is not None and tag[0] == cls.value and tag[1] >= 0:
+                    live.add(tag[1])
+                    assert 0 <= tag[2] <= domain.prt.max_version, (cls, tag)
+        assert free == set(range(total)) - live, cls
+
+
+@st.composite
+def renamer_ops(draw):
+    return draw(st.lists(st.one_of(
+        st.tuples(st.just("rename"), st.booleans(),
+                  st.integers(0, 31), st.integers(0, 31)),
+        st.tuples(st.just("commit")),
+        st.tuples(st.just("squash"), st.integers(1, 5)),
+        st.tuples(st.just("recover")),
+    ), min_size=1, max_size=80))
+
+
+@given(renamer_ops())
+@settings(max_examples=40, deadline=None)
+def test_sharing_renamer_free_list_conservation(ops):
+    """Drive a bare SharingRenamer (no pipeline) through random
+    rename/commit/squash/recover sequences with the real pipeline's
+    ordering rules — commit oldest first, squash a suffix youngest-first —
+    and assert free-list conservation and version-counter bounds after
+    every step."""
+    from repro.pipeline.debug import check_sharing_renamer
+
+    renamer = _make_sharing_renamer()
+    in_flight = []  # rename groups (repair µops + instruction), oldest first
+    seq = 0
+    for op in ops:
+        kind = op[0]
+        if kind == "rename":
+            dyn = _rename_dyn(seq, *op[1:])
+            seq += 1
+            if not renamer.can_rename(dyn):
+                continue
+            in_flight.append(renamer.rename(dyn, is_ready=lambda tag: True))
+        elif kind == "commit":
+            if in_flight:
+                for dyn in in_flight.pop(0):
+                    renamer.commit(dyn)
+        elif kind == "squash":
+            depth = min(op[1], len(in_flight))
+            if depth:
+                squashed = [dyn for group in reversed(in_flight[-depth:])
+                            for dyn in reversed(group)]
+                renamer.squash_to(squashed)
+                del in_flight[-depth:]
+        else:  # recover: precise-state restart discards everything in flight
+            renamer.recover()
+            in_flight.clear()
+        check_sharing_renamer(renamer)
+        _assert_sharing_conservation(renamer, in_flight)
+
+    # drain: commit everything left and expect a fully consistent end state
+    while in_flight:
+        for dyn in in_flight.pop(0):
+            renamer.commit(dyn)
+    check_sharing_renamer(renamer)
+    _assert_sharing_conservation(renamer, in_flight)
 
 
 # ----------------------------------------------------------------- programs
