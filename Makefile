@@ -3,8 +3,8 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: install test bench bench-parallel bench-full repro examples \
-	cache-smoke verify fuzz fuzz-smoke lint-goldens clean
+.PHONY: install test bench bench-parallel bench-full bench-floor repro \
+	examples cache-smoke verify fuzz fuzz-smoke golden lint-goldens clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -48,8 +48,16 @@ examples:
 		$(PYTHON) $$ex || exit 1; \
 	done
 
-lint-goldens:
-	$(PYTHON) tests/test_golden.py regen
+# regenerate tests/golden_stats.json after an *intended* timing change
+golden:
+	PYTHONPATH=src $(PYTHON) tests/test_golden.py regen
+
+lint-goldens: golden
+
+# cycle-loop throughput gate: fail if the sharing scheme drops >25% below
+# the committed BENCH_cycleloop.json record
+bench-floor:
+	PYTHONPATH=src $(PYTHON) -m repro bench --quick --out bench-quick.json
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

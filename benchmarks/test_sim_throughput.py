@@ -2,33 +2,49 @@
 
 A true timing benchmark (multiple rounds) so regressions in the cycle
 loop show up; the other benches are single-shot experiment drivers.
+
+The instruction streams are pregenerated outside the timed region — the
+generator's cost is not the pipeline's cost.  Each round gets its own
+stream because simulation mutates the DynInsts in place.
 """
 
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.processor import simulate
 from repro.workloads import BENCHMARKS, SyntheticWorkload
 
+INSTS = 10_000
+ROUNDS = 3
 
-def run_sim(scheme: str, verify: bool):
-    workload = SyntheticWorkload(BENCHMARKS["hmmer"], total_insts=3_000)
+
+def _streams(count: int = ROUNDS):
+    return iter([
+        list(SyntheticWorkload(BENCHMARKS["hmmer"], total_insts=INSTS))
+        for _ in range(count)
+    ])
+
+
+def _run(scheme: str, verify: bool, streams):
     config = MachineConfig(scheme=scheme, int_regs=64, fp_regs=64,
                            verify_values=verify)
-    return simulate(config, iter(workload))
+    return simulate(config, iter(next(streams)))
 
 
 def test_throughput_conventional(benchmark):
-    stats = benchmark.pedantic(lambda: run_sim("conventional", False),
-                               rounds=3, iterations=1)
-    assert stats.committed == 3_000
+    streams = _streams()
+    stats = benchmark.pedantic(lambda: _run("conventional", False, streams),
+                               rounds=ROUNDS, iterations=1)
+    assert stats.committed == INSTS
 
 
 def test_throughput_sharing(benchmark):
-    stats = benchmark.pedantic(lambda: run_sim("sharing", False),
-                               rounds=3, iterations=1)
-    assert stats.committed == 3_000
+    streams = _streams()
+    stats = benchmark.pedantic(lambda: _run("sharing", False, streams),
+                               rounds=ROUNDS, iterations=1)
+    assert stats.committed == INSTS
 
 
 def test_throughput_with_verification(benchmark):
-    stats = benchmark.pedantic(lambda: run_sim("sharing", True),
-                               rounds=3, iterations=1)
-    assert stats.committed == 3_000
+    streams = _streams()
+    stats = benchmark.pedantic(lambda: _run("sharing", True, streams),
+                               rounds=ROUNDS, iterations=1)
+    assert stats.committed == INSTS

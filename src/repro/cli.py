@@ -4,6 +4,8 @@ Usage::
 
     python -m repro run PROGRAM.s [--scheme sharing] [--int-regs 64] ...
     python -m repro bench NAME [--scheme ...] [--insts 20000] ...
+    python -m repro bench [--quick]    # cycle-loop throughput benchmark
+    python -m repro profile sharing:hmmer:10000 [--top 15] [--out p.pstats]
     python -m repro compare NAME [--sizes 48,64,96] [--insts 10000]
     python -m repro figures [fig1 fig2 ... | all]
     python -m repro kernels [--list | NAME]
@@ -13,9 +15,12 @@ Usage::
     python -m repro fuzz --replay REPRODUCER.json
 
 ``run`` executes an assembly file through the timing pipeline; ``bench``
-runs one synthetic benchmark profile; ``compare`` sweeps register-file
-sizes for baseline vs proposed; ``figures`` regenerates the paper's
-tables/figures; ``motivation`` prints the dataflow analysis.
+runs one synthetic benchmark profile — or, with no name, the cycle-loop
+throughput benchmark behind ``BENCH_cycleloop.json``; ``compare`` sweeps
+register-file sizes for baseline vs proposed; ``figures`` regenerates the
+paper's tables/figures; ``motivation`` prints the dataflow analysis;
+``profile`` wraps one simulation point in cProfile (``run`` and ``verify``
+also take ``--profile PATH``).
 
 ``verify`` runs every kernel through the pipeline in lockstep with the
 in-order golden model (the commit-time differential oracle,
@@ -109,15 +114,37 @@ def _simulate_program(args, program, budget=10_000_000, max_insts=None):
                     program_budget=budget)
 
 
+def _profiled(args, fn):
+    """Run ``fn`` under cProfile when ``--profile PATH`` was given: dump the
+    pstats file and print the top-15 functions by cumulative time."""
+    if not getattr(args, "profile", None):
+        return fn()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(15)
+        print(f"profile written to {args.profile}", file=sys.stderr)
+
+
 def cmd_run(args) -> int:
     with open(args.program) as handle:
         program = assemble(handle.read())
-    stats = _simulate_program(args, program, max_insts=args.insts)
+    stats = _profiled(
+        args, lambda: _simulate_program(args, program, max_insts=args.insts))
     _print_stats(stats, args.detailed)
     return 0
 
 
 def cmd_bench(args) -> int:
+    if args.name is None:
+        return _cmd_bench_cycleloop(args)
     if args.name not in BENCHMARKS:
         print(f"unknown benchmark {args.name!r}; use one of: "
               f"{', '.join(sorted(BENCHMARKS))}", file=sys.stderr)
@@ -126,6 +153,78 @@ def cmd_bench(args) -> int:
                                  total_insts=args.insts, seed=args.seed)
     stats = simulate(_config(args), iter(workload))
     _print_stats(stats, args.detailed)
+    return 0
+
+
+def _cmd_bench_cycleloop(args) -> int:
+    """``repro bench`` with no profile name: the cycle-loop throughput
+    benchmark behind BENCH_cycleloop.json (see repro.harness.bench)."""
+    import json
+    from pathlib import Path
+
+    from repro.harness import bench
+
+    record = bench.load_record()
+    current = bench.run_bench(quick=args.quick, seed=args.seed)
+    for line in bench.diff_against(record, current):
+        print(line)
+
+    if args.quick:
+        # quick mode (CI): never touch the committed record; write the
+        # artifact elsewhere and enforce the throughput floor
+        out = Path(args.out or "bench-quick.json")
+        out.write_text(json.dumps({"current": current}, indent=2,
+                                  sort_keys=True) + "\n")
+        print(f"results written to {out}", file=sys.stderr)
+        if not args.no_floor:
+            ok, message = bench.check_floor(record, current,
+                                            tolerance=args.floor_tolerance)
+            print(message)
+            if not ok:
+                return 1
+        return 0
+
+    out = Path(args.out) if args.out else bench.DEFAULT_PATH
+    bench.write_record(current, path=out)
+    print(f"results written to {out}", file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """``repro profile SCHEME[:PROFILE[:INSTS]]``: cProfile one simulation
+    point and report the top-N functions by cumulative time."""
+    import cProfile
+    import pstats
+
+    parts = args.point.split(":")
+    scheme = parts[0]
+    profile_name = parts[1] if len(parts) > 1 else "hmmer"
+    insts = int(parts[2]) if len(parts) > 2 else 10_000
+    if scheme not in ("conventional", "sharing", "hinted", "early"):
+        print(f"unknown scheme {scheme!r}", file=sys.stderr)
+        return 1
+    if profile_name not in BENCHMARKS:
+        print(f"unknown benchmark {profile_name!r}; use one of: "
+              f"{', '.join(sorted(BENCHMARKS))}", file=sys.stderr)
+        return 1
+
+    from repro.pipeline.processor import IterSource, Processor
+
+    stream = list(SyntheticWorkload(BENCHMARKS[profile_name],
+                                    total_insts=insts, seed=args.seed))
+    config = MachineConfig(scheme=scheme, verify_values=False)
+    processor = Processor(config, IterSource(iter(stream)))
+    profiler = cProfile.Profile()
+    profiler.enable()
+    processor.run()
+    profiler.disable()
+    if args.out:
+        profiler.dump_stats(args.out)
+        print(f"profile written to {args.out}", file=sys.stderr)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(f"{scheme}:{profile_name}:{insts}  cycles={processor.stats.cycles}  "
+          f"skipped={processor.cycles_skipped}")
     return 0
 
 
@@ -219,6 +318,10 @@ def cmd_kernels(args) -> int:
 def cmd_verify(args) -> int:
     """Oracle-checked kernel battery: the commit-time differential oracle
     plus cross-structure invariants, over every kernel program."""
+    return _profiled(args, lambda: _cmd_verify_body(args))
+
+
+def _cmd_verify_body(args) -> int:
     from repro.isa.executor import FirstTouchFaults
     from repro.pipeline.debug import check_invariants
     from repro.verify.oracle import lockstep_run
@@ -329,15 +432,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="simulate an assembly file")
     p_run.add_argument("program")
     p_run.add_argument("--insts", type=int, default=None)
+    p_run.add_argument("--profile", default=None, metavar="PATH",
+                       help="cProfile the run; dump pstats to PATH and "
+                            "print the top-15 cumulative functions")
     _machine_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 
-    p_bench = sub.add_parser("bench", help="run one benchmark profile")
-    p_bench.add_argument("name")
+    p_bench = sub.add_parser(
+        "bench", help="run one benchmark profile; with no name, run the "
+        "cycle-loop throughput benchmark (BENCH_cycleloop.json)")
+    p_bench.add_argument("name", nargs="?", default=None)
     p_bench.add_argument("--insts", type=int, default=20_000)
     p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--quick", action="store_true",
+                         help="cycle-loop bench: smaller run, write the "
+                              "artifact to --out and enforce the "
+                              "throughput floor (CI mode)")
+    p_bench.add_argument("--out", default=None, metavar="PATH",
+                         help="cycle-loop bench: output JSON path")
+    p_bench.add_argument("--no-floor", action="store_true",
+                         help="cycle-loop bench: skip the floor check in "
+                              "--quick mode")
+    p_bench.add_argument("--floor-tolerance", type=float, default=0.25,
+                         help="allowed sharing-scheme throughput drop vs "
+                              "the committed record (default 0.25)")
     _machine_args(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_prof = sub.add_parser(
+        "profile", help="cProfile one simulation point "
+        "(SCHEME[:PROFILE[:INSTS]], e.g. sharing:hmmer:10000)")
+    p_prof.add_argument("point")
+    p_prof.add_argument("--top", type=int, default=15,
+                        help="functions to print (default 15)")
+    p_prof.add_argument("--seed", type=int, default=1)
+    p_prof.add_argument("--out", default=None, metavar="PATH",
+                        help="also dump the raw pstats file to PATH")
+    p_prof.set_defaults(fn=cmd_profile)
 
     p_cmp = sub.add_parser("compare", help="baseline vs proposed sweep")
     p_cmp.add_argument("name")
@@ -372,6 +503,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also run a periodic-interrupt variant")
     p_ver.add_argument("--check-interval", type=int, default=16,
                        help="invariant-check interval in cycles")
+    p_ver.add_argument("--profile", default=None, metavar="PATH",
+                       help="cProfile the battery; dump pstats to PATH and "
+                            "print the top-15 cumulative functions")
     _machine_args(p_ver)
     p_ver.set_defaults(fn=cmd_verify)
 

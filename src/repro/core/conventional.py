@@ -9,6 +9,7 @@ register is released when the redefining instruction commits.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 from repro.core.map_table import MapTable
@@ -31,7 +32,8 @@ class _Domain:
         self.rf = BankedRegisterFile(self.config)
         self.map = MapTable(num_logical)
         self.retire_map = MapTable(num_logical)
-        self.free: list[int] = list(range(num_logical, num_phys))
+        # FIFO free list: deque so allocation (popleft) is O(1)
+        self.free: deque[int] = deque(range(num_logical, num_phys))
         for logical in range(num_logical):
             self.map.set(logical, (logical, 0))
             self.retire_map.set(logical, (logical, 0))
@@ -45,6 +47,11 @@ class ConventionalRenamer(BaseRenamer):
             RegClass.INT: _Domain(INT_REGS, int_regs),
             RegClass.FP: _Domain(FP_REGS, fp_regs),
         }
+        #: domains indexed by RegClass.value (avoids the enum-hash dict
+        #: lookup on the write/read hot path)
+        self._domains_by_value = (
+            self.domains[RegClass.INT], self.domains[RegClass.FP],
+        )
         self.stats = RenameStats()
 
     # ------------------------------------------------------------------ capacity
@@ -64,7 +71,7 @@ class ConventionalRenamer(BaseRenamer):
             domain = self.domains[dyn.dest.cls]
             if not domain.free:
                 raise AssertionError("rename called without a free register")
-            phys = domain.free.pop(0)
+            phys = domain.free.popleft()
             prev = domain.map.get(dyn.dest.idx)
             dyn.prev_map = prev
             dyn.allocated_new = True
@@ -109,19 +116,19 @@ class ConventionalRenamer(BaseRenamer):
             diff += domain.map.diff_count(domain.retire_map)
             domain.map.copy_from(domain.retire_map)
             live = domain.retire_map.physical_regs()
-            domain.free = [
+            domain.free = deque(
                 phys for phys in range(domain.config.total_regs) if phys not in live
-            ]
+            )
         self.stats.recoveries += 1
         self.stats.recovered_map_entries += diff
         return diff
 
     # ------------------------------------------------------------------ values
     def write(self, tag: Tag, value: Value) -> None:
-        self.domains[RegClass(tag[0])].rf.write(tag[1], tag[2], value)
+        self._domains_by_value[tag[0]].rf.write(tag[1], tag[2], value)
 
     def read(self, tag: Tag) -> Value:
-        return self.domains[RegClass(tag[0])].rf.read(tag[1], tag[2])
+        return self._domains_by_value[tag[0]].rf.read(tag[1], tag[2])
 
     # ------------------------------------------------------------------ setup
     def initial_tags(self) -> list[tuple[Tag, Value]]:

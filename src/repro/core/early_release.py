@@ -20,6 +20,7 @@ aggressive-release upper bound).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 from repro.core.map_table import MapTable
@@ -62,7 +63,8 @@ class _Domain:
         self.rf = BankedRegisterFile(self.config)
         self.map = MapTable(num_logical)
         self.retire_map = MapTable(num_logical)
-        self.free: list[int] = list(range(num_logical, num_phys))
+        # FIFO free list: deque so allocation (popleft) is O(1)
+        self.free: deque[int] = deque(range(num_logical, num_phys))
         self.state = [_PhysState() for _ in range(num_phys)]
         for logical in range(num_logical):
             self.map.set(logical, (logical, 0))
@@ -86,6 +88,10 @@ class EarlyReleaseRenamer(BaseRenamer):
             RegClass.INT: _Domain(INT_REGS, int_regs),
             RegClass.FP: _Domain(FP_REGS, fp_regs),
         }
+        #: domains indexed by RegClass.value (hot-path tag dispatch)
+        self._domains_by_value = (
+            self.domains[RegClass.INT], self.domains[RegClass.FP],
+        )
         self.stats = RenameStats()
         self.early_releases = 0
         self.commit_releases = 0
@@ -122,7 +128,7 @@ class EarlyReleaseRenamer(BaseRenamer):
             domain = self.domains[dyn.dest.cls]
             if not domain.free:
                 raise AssertionError("rename called without a free register")
-            phys = domain.free.pop(0)
+            phys = domain.free.popleft()
             domain.state[phys].reset()
             prev_phys, _ = domain.map.get(dyn.dest.idx)
             # remember the previous register *and its generation*: if it is
@@ -143,7 +149,7 @@ class EarlyReleaseRenamer(BaseRenamer):
     # ------------------------------------------------------------------ hooks
     def on_operand_read(self, tag: Tag) -> None:
         """A consumer read its operand (called by the pipeline at issue)."""
-        domain = self.domains[RegClass(tag[0])]
+        domain = self._domains_by_value[tag[0]]
         state = domain.state[tag[1]]
         state.pending_reads -= 1
         assert state.pending_reads >= 0, "pending-read underflow"
@@ -176,14 +182,14 @@ class EarlyReleaseRenamer(BaseRenamer):
 
     # ------------------------------------------------------------------ values
     def write(self, tag: Tag, value: Value) -> None:
-        domain = self.domains[RegClass(tag[0])]
+        domain = self._domains_by_value[tag[0]]
         domain.rf.write(tag[1], tag[2], value)
         state = domain.state[tag[1]]
         state.produced = True
         self._try_release(domain, tag[1])
 
     def read(self, tag: Tag) -> Value:
-        return self.domains[RegClass(tag[0])].rf.read(tag[1], tag[2])
+        return self._domains_by_value[tag[0]].rf.read(tag[1], tag[2])
 
     # ------------------------------------------------------------------ setup
     def initial_tags(self) -> list[tuple[Tag, Value]]:

@@ -24,6 +24,16 @@ class BankedFreeList:
             deque(config.bank_range(bank)) for bank in range(config.num_banks)
         ]
         self._count = config.total_regs
+        #: bank id per physical register (bank_of is O(banks) per call)
+        self._bank_of = tuple(
+            config.bank_of(phys) for phys in range(config.total_regs)
+        )
+        #: membership bitmap mirroring the deques (O(1) double-free check)
+        self._is_free = [True] * config.total_regs
+        #: per-bank fallback orders, precomputed
+        self._fallback = tuple(
+            tuple(self.fallback_order(bank)) for bank in range(config.num_banks)
+        )
 
     # ------------------------------------------------------------------ queries
     def free_count(self, bank: Optional[int] = None) -> int:
@@ -42,26 +52,32 @@ class BankedFreeList:
     # ------------------------------------------------------------------ alloc
     def allocate(self, bank: int) -> Optional[tuple[int, int]]:
         """Allocate preferring ``bank``; returns (phys, actual_bank) or None."""
-        for candidate in self.fallback_order(bank):
-            if self._free[candidate]:
+        free = self._free
+        for candidate in self._fallback[bank]:
+            if free[candidate]:
                 self._count -= 1
-                return self._free[candidate].popleft(), candidate
+                phys = free[candidate].popleft()
+                self._is_free[phys] = False
+                return phys, candidate
         return None
 
     def release(self, phys: int) -> None:
-        bank = self.config.bank_of(phys)
-        if phys in self._free[bank]:
+        if self._is_free[phys]:
             raise AssertionError(f"double free of p{phys}")
-        self._free[bank].append(phys)
+        self._free[self._bank_of[phys]].append(phys)
+        self._is_free[phys] = True
         self._count += 1
 
     def rebuild(self, live: set[int]) -> None:
         """Recovery: the free lists become exactly the non-live registers."""
+        is_free = self._is_free
         for bank in range(self.config.num_banks):
             self._free[bank] = deque(
                 phys for phys in self.config.bank_range(bank) if phys not in live
             )
+        for phys in range(self.config.total_regs):
+            is_free[phys] = phys not in live
         self._count = sum(len(q) for q in self._free)
 
     def contains(self, phys: int) -> bool:
-        return phys in self._free[self.config.bank_of(phys)]
+        return self._is_free[phys]

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 LOG_CAP = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class PRTEntry:
     read_bit: bool = False
     version: int = 0  # the N-bit counter: index of the current (newest) version

@@ -72,47 +72,61 @@ class RegisterFileConfig:
 class BankedRegisterFile:
     """Value storage for one register class (INT or FP).
 
-    Values are keyed by ``(phys, version)``; negative ``phys`` ids are the
-    auxiliary registers used by single-use-misprediction repair micro-ops
-    (paper Figure 8) and have no capacity constraint.
+    Values are stored per register as ``{phys: {version: value}}`` so
+    releasing a register (``drop_register``, on every allocation/release)
+    and discarding squashed versions (``drop_above``) touch only that
+    register's handful of versions instead of scanning the whole file.
+    Negative ``phys`` ids are the auxiliary registers used by
+    single-use-misprediction repair micro-ops (paper Figure 8) and have no
+    capacity constraint.
     """
 
     def __init__(self, config: RegisterFileConfig) -> None:
         self.config = config
-        self._values: dict[tuple[int, int], Value] = {}
+        self._values: dict[int, dict[int, Value]] = {}
+        #: capacity (versions) per physical register, indexed by phys id
+        self._capacity = tuple(
+            config.shadow_cells_of(phys) + 1 for phys in range(config.total_regs)
+        )
 
     def write(self, phys: int, version: int, value: Value) -> None:
-        if phys >= 0:
-            capacity = self.config.shadow_cells_of(phys) + 1
-            if version >= capacity:
-                raise AssertionError(
-                    f"write of version {version} exceeds capacity {capacity} of p{phys}"
-                )
-        self._values[(phys, version)] = value
+        if phys >= 0 and version >= self._capacity[phys]:
+            raise AssertionError(
+                f"write of version {version} exceeds capacity "
+                f"{self._capacity[phys]} of p{phys}"
+            )
+        versions = self._values.get(phys)
+        if versions is None:
+            self._values[phys] = {version: value}
+        else:
+            versions[version] = value
 
     def read(self, phys: int, version: int) -> Value:
         try:
-            return self._values[(phys, version)]
+            return self._values[phys][version]
         except KeyError:
             raise AssertionError(f"read of unwritten register p{phys}.{version}") from None
 
     def has(self, phys: int, version: int) -> bool:
-        return (phys, version) in self._values
+        versions = self._values.get(phys)
+        return versions is not None and version in versions
 
     def drop_register(self, phys: int) -> None:
         """Free all versions of ``phys`` (called when the register is released)."""
-        for key in [k for k in self._values if k[0] == phys]:
-            del self._values[key]
+        self._values.pop(phys, None)
 
     def drop_above(self, phys: int, version: int) -> None:
         """Discard squashed speculative versions newer than ``version``."""
-        for key in [k for k in self._values if k[0] == phys and k[1] > version]:
-            del self._values[key]
+        versions = self._values.get(phys)
+        if not versions:
+            return
+        for v in [v for v in versions if v > version]:
+            del versions[v]
 
     def live_version_counts(self) -> dict[int, int]:
         """Map phys -> number of live versions (for Figure 9 demand sampling)."""
-        counts: dict[int, int] = {}
-        for phys, _version in self._values:
-            if phys >= 0:
-                counts[phys] = counts.get(phys, 0) + 1
-        return counts
+        return {
+            phys: len(versions)
+            for phys, versions in self._values.items()
+            if phys >= 0 and versions
+        }

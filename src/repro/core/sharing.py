@@ -62,6 +62,10 @@ class _Domain:
         self.prt = PhysicalRegisterTable(config.total_regs, counter_bits)
         self.refcount = [0] * config.total_regs
         self._temp_counter = 0
+        #: shadow cells per physical register (shadow_cells_of is O(banks))
+        self.shadow_of = tuple(
+            config.shadow_cells_of(phys) for phys in range(config.total_regs)
+        )
 
         # Initial committed state: one register per logical, preferring the
         # conventional bank.  Read bits start set (the initial values'
@@ -100,6 +104,10 @@ class SharingRenamer(BaseRenamer):
             RegClass.INT: _Domain(INT_REGS, int_config, counter_bits),
             RegClass.FP: _Domain(FP_REGS, fp_config, counter_bits),
         }
+        #: domains indexed by RegClass.value (hot-path tag dispatch)
+        self._domains_by_value = (
+            self.domains[RegClass.INT], self.domains[RegClass.FP],
+        )
         max_banks = max(int_config.num_banks, fp_config.num_banks)
         self.predictor = predictor or RegisterTypePredictor(
             predictor_entries, num_banks=max_banks
@@ -125,8 +133,8 @@ class SharingRenamer(BaseRenamer):
     def _stale(self, domain: _Domain, logical: int) -> Optional[tuple[int, int]]:
         """If the mapping of ``logical`` points below the current version,
         return (phys, stale version); else None."""
-        phys, version = domain.map.get(logical)
-        if version < domain.prt[phys].version:
+        phys, version = domain.map.entries[logical]
+        if version < domain.prt.entries[phys].version:
             return phys, version
         return None
 
@@ -135,7 +143,7 @@ class SharingRenamer(BaseRenamer):
         guaranteed: bool, dyn: DynInst, src_index: int,
     ) -> bool:
         """Pure eligibility check (no mutation) for reuse through a source."""
-        entry = domain.prt[phys]
+        entry = domain.prt.entries[phys]
         if entry.version != version or not first_use:
             return False
         if not guaranteed and not self._single_use_prediction(dyn, src_index,
@@ -143,7 +151,7 @@ class SharingRenamer(BaseRenamer):
             return False  # the single-use predictor says no
         if entry.version >= domain.prt.max_version:
             return False
-        return entry.version < domain.config.shadow_cells_of(phys)
+        return entry.version < domain.shadow_of[phys]
 
     # ====================================================================== capacity
     def uops_needed(self, dyn: DynInst, is_ready: ReadyFn) -> int:
@@ -166,47 +174,59 @@ class SharingRenamer(BaseRenamer):
     def can_rename(self, dyn: DynInst) -> bool:
         """Rename blocks only when no register is free *and* no reuse is
         possible (Section IV-A4).  Repairs each consume one new register."""
+        domains = self._domains_by_value
+        srcs = dyn.srcs
         # fast path: ample registers everywhere (the common case)
-        worst_case = len(dyn.srcs) + 1
-        if (self.domains[RegClass.INT].free.free_count() >= worst_case
-                and self.domains[RegClass.FP].free.free_count() >= worst_case):
+        worst_case = len(srcs) + 1
+        if (domains[0].free._count >= worst_case
+                and domains[1].free._count >= worst_case):
             return True
-        needed_per_class = {RegClass.INT: 0, RegClass.FP: 0}
-        seen: set[tuple[int, int]] = set()
-        repaired: set[tuple[int, int]] = set()
-        for src in dyn.srcs:
-            key = (src.cls.value, src.idx)
+        needed = [0, 0]  # per class value
+        seen: list[tuple[int, int]] = []
+        repaired: list[tuple[int, int]] = []
+        for src in srcs:
+            cls_value = src.cls.value
+            key = (cls_value, src.idx)
             if key in seen:
                 continue
-            seen.add(key)
-            if self._stale(self.domains[src.cls], src.idx) is not None:
-                needed_per_class[src.cls] += 1
-                repaired.add(key)
+            seen.append(key)
+            domain = domains[cls_value]
+            phys, version = domain.map.entries[src.idx]
+            if version < domain.prt.entries[phys].version:
+                needed[cls_value] += 1
+                repaired.append(key)
 
-        if dyn.dest is not None:
-            domain = self.domains[dyn.dest.cls]
+        dest = dyn.dest
+        if dest is not None:
+            dest_cls_value = dest.cls.value
+            domain = domains[dest_cls_value]
+            map_entries = domain.map.entries
+            prt_entries = domain.prt.entries
             reusable = False
             read_track: dict[tuple[int, int], bool] = {}
-            for index, src in enumerate(dyn.srcs):
-                if src.cls is not dyn.dest.cls:
+            for index, src in enumerate(srcs):
+                if src.cls is not dest.cls:
                     continue
-                if (src.cls.value, src.idx) in repaired:
+                if (dest_cls_value, src.idx) in repaired:
                     continue  # never reuse through a just-repaired source
-                phys, version = domain.map.get(src.idx)
+                phys, version = map_entries[src.idx]
                 tag = (phys, version)
-                if tag not in read_track:
-                    read_track[tag] = not domain.prt[phys].read_bit
-                if self._reusable_via(domain, phys, version, read_track[tag],
-                                      guaranteed=src == dyn.dest,
+                first_use = read_track.get(tag)
+                if first_use is None:
+                    first_use = not prt_entries[phys].read_bit
+                    read_track[tag] = first_use
+                if self._reusable_via(domain, phys, version, first_use,
+                                      guaranteed=src == dest,
                                       dyn=dyn, src_index=index):
                     reusable = True
                     break
             if not reusable:
-                needed_per_class[dyn.dest.cls] += 1
+                needed[dest_cls_value] += 1
 
-        for cls, needed in needed_per_class.items():
-            if needed and self.domains[cls].free.free_count() < needed:
-                return False
+        if needed[0] and domains[0].free._count < needed[0]:
+            return False
+        if needed[1] and domains[1].free._count < needed[1]:
+            return False
         return True
 
     # ====================================================================== rename
@@ -218,15 +238,18 @@ class SharingRenamer(BaseRenamer):
         src_tags: list[Tag] = []
 
         # ---- rename sources (and repair stale single-use mispredictions) ----
+        domains = self._domains_by_value
         for index, src in enumerate(dyn.srcs):
-            domain = self.domains[src.cls]
-            stale = self._stale(domain, src.idx)
-            if stale is not None:
-                uops.extend(self._repair(dyn, index, src, *stale, is_ready))
+            cls_value = src.cls.value
+            domain = domains[cls_value]
+            phys, version = domain.map.entries[src.idx]
+            if version < domain.prt.entries[phys].version:
+                uops.extend(self._repair(dyn, index, src, phys, version,
+                                         is_ready))
                 repaired_srcs.add(index)
-            phys, version = domain.map.get(src.idx)
-            entry = domain.prt[phys]
-            key = (src.cls.value, phys, version)
+                phys, version = domain.map.entries[src.idx]
+            entry = domain.prt.entries[phys]
+            key = (cls_value, phys, version)
             if key not in first_use:
                 first_use[key] = not entry.read_bit
                 if entry.read_bit and entry.version == version:
@@ -236,7 +259,7 @@ class SharingRenamer(BaseRenamer):
                         self.stats.multi_use_detected += 1
                         self.predictor.on_extra_use(entry.alloc_index)
             entry.read_bit = True
-            src_tags.append((src.cls.value, phys, version))
+            src_tags.append(key)
         dyn.src_tags = src_tags
 
         # ---- rename destination ------------------------------------------------
@@ -254,20 +277,19 @@ class SharingRenamer(BaseRenamer):
         repaired_srcs: set[int],
     ) -> None:
         dest = dyn.dest
-        domain = self.domains[dest.cls]
-        dyn.prev_map = domain.map.get(dest.idx)
+        domain = self._domains_by_value[dest.cls.value]
+        dyn.prev_map = domain.map.entries[dest.idx]
 
         # candidate sources: same class, dest-matching (guaranteed) first
-        order = sorted(
-            range(len(dyn.srcs)),
-            key=lambda i: (dyn.srcs[i] != dest, i),
-        )
+        srcs = dyn.srcs
+        order = [i for i in range(len(srcs)) if srcs[i] == dest]
+        order.extend(i for i in range(len(srcs)) if srcs[i] != dest)
         for index in order:
-            src = dyn.srcs[index]
+            src = srcs[index]
             if src.cls is not dest.cls or index in repaired_srcs:
                 continue
             _cls, phys, version = dyn.src_tags[index]
-            entry = domain.prt[phys]
+            entry = domain.prt.entries[phys]
             if entry.version != version:
                 continue  # stale (shouldn't happen post-repair) — be safe
             if not first_use[(src.cls.value, phys, version)]:
@@ -285,7 +307,7 @@ class SharingRenamer(BaseRenamer):
             if entry.version >= domain.prt.max_version:
                 self.stats.lost_reuse_saturated += 1
                 continue
-            if entry.version >= domain.config.shadow_cells_of(phys):
+            if entry.version >= domain.shadow_of[phys]:
                 # first+last use, but no shadow cell free: the single-use
                 # prediction under-provisioned — train upward (Section IV-D)
                 entry.lost_reuse += 1
@@ -406,18 +428,22 @@ class SharingRenamer(BaseRenamer):
 
     # ====================================================================== commit
     def commit(self, dyn: DynInst) -> None:
-        if dyn.dest is None or dyn.dest_tag is None:
+        dest_tag = dyn.dest_tag
+        if dyn.dest is None or dest_tag is None:
             return
-        domain = self.domains[dyn.dest.cls]
-        old = domain.retire_map.get(dyn.dest.idx)
-        new = dyn.dest_tag[1:]
+        domain = self._domains_by_value[dest_tag[0]]
+        dest_idx = dyn.dest.idx
+        old = domain.retire_map.entries[dest_idx]
+        new = dest_tag[1:]
         if old == new:
             return
-        domain.retire_map.set(dyn.dest.idx, new)
-        domain.refcount[new[0]] += 1
-        domain.refcount[old[0]] -= 1
-        if domain.refcount[old[0]] == 0:
-            self._release(domain, old[0])
+        domain.retire_map.entries[dest_idx] = new
+        refcount = domain.refcount
+        refcount[new[0]] += 1
+        old_phys = old[0]
+        refcount[old_phys] -= 1
+        if refcount[old_phys] == 0:
+            self._release(domain, old_phys)
 
     def _release(self, domain: _Domain, phys: int) -> None:
         entry = domain.prt[phys]
@@ -433,7 +459,7 @@ class SharingRenamer(BaseRenamer):
                     missed_singles += 1
         self.predictor.on_release(
             alloc_index=entry.alloc_index,
-            predicted_bank=domain.config.shadow_cells_of(phys),
+            predicted_bank=domain.shadow_of[phys],
             actual_reuses=entry.version,
             extra_use=entry.extra_use,
             lost_reuse=missed_singles,
@@ -513,10 +539,10 @@ class SharingRenamer(BaseRenamer):
 
     # ====================================================================== values
     def write(self, tag: Tag, value: Value) -> None:
-        self.domains[RegClass(tag[0])].rf.write(tag[1], tag[2], value)
+        self._domains_by_value[tag[0]].rf.write(tag[1], tag[2], value)
 
     def read(self, tag: Tag) -> Value:
-        return self.domains[RegClass(tag[0])].rf.read(tag[1], tag[2])
+        return self._domains_by_value[tag[0]].rf.read(tag[1], tag[2])
 
     # ====================================================================== setup
     def initial_tags(self) -> list[tuple[Tag, Value]]:

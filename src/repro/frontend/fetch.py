@@ -149,6 +149,44 @@ class FetchUnit:
                 if dyn.taken:
                     return  # taken branch ends the fetch group
 
+    def next_active_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which :meth:`tick` could make progress.
+
+        Returns None when fetch cannot wake on its own — stalled on an
+        unresolved branch (an external ``branch_resolved`` call restarts
+        it) or the source is exhausted with nothing buffered.  Used by the
+        event-driven cycle loop to bound quiet-cycle skips.
+        """
+        if self._waiting_branch_seq is not None:
+            return None
+        if (self._eof and self._pending is None and not self.replay
+                and self._wrong_branch is None):
+            return None
+        start = cycle + 1
+        if self._resume_at is not None and self._resume_at > start:
+            start = self._resume_at
+        if self._stall_until > start:
+            start = self._stall_until
+        return start
+
+    def account_idle(self, first: int, last: int) -> None:
+        """Bulk-account the stall bookkeeping :meth:`tick` would have done
+        over the skipped quiet cycles ``[first, last]``.
+
+        Mirrors tick()'s early-return order: no counting while waiting on
+        a branch; cycles below ``_resume_at`` drain the redirect penalty
+        silently; remaining cycles below ``_stall_until`` are I-cache
+        stall cycles.
+        """
+        if self._waiting_branch_seq is not None:
+            return
+        lo = first
+        if self._resume_at is not None and self._resume_at > lo:
+            lo = self._resume_at
+        hi = min(last + 1, self._stall_until)
+        if hi > lo:
+            self.icache_stall_cycles += hi - lo
+
     def branch_resolved(self, dyn: DynInst, cycle: int, extra_recovery: int = 0) -> None:
         """Called at writeback of a branch; resumes fetch if it was the stalling one."""
         if self._waiting_branch_seq == dyn.seq:
@@ -156,10 +194,14 @@ class FetchUnit:
             self._resume_at = cycle + self.mispredict_penalty + extra_recovery
         if self._wrong_branch is dyn:
             # discard everything fetched down the wrong path and redirect
+            # (rebuilt in place: the processor's hot loop holds a reference
+            # to this deque)
             self._wrong_branch = None
             if self._pending is not None and self._pending.wrong_path:
                 self._pending = None
-            self.queue = deque(d for d in self.queue if not d.wrong_path)
+            kept = [d for d in self.queue if not d.wrong_path]
+            self.queue.clear()
+            self.queue.extend(kept)
             self._resume_at = cycle + self.mispredict_penalty + extra_recovery
             self._last_line = None
 

@@ -1,0 +1,169 @@
+"""Cycle-loop performance benchmark (``repro bench`` / BENCH_cycleloop.json).
+
+Measures simulator throughput (instructions and cycles simulated per
+wall-clock second) for each rename scheme on a fixed synthetic workload,
+plus allocation pressure via :mod:`tracemalloc`.  Results are written to
+``BENCH_cycleloop.json`` and diffed against the committed copy, so a
+regression in the event-driven cycle loop shows up as a reviewable delta
+rather than a silent slowdown.
+
+The committed file carries two sections:
+
+* ``baseline`` — the pre-event-loop numbers (the naive cycle loop this PR
+  replaced), kept for the before/after record;
+* ``current`` — the numbers measured on the machine that last regenerated
+  the file.
+
+``check_floor`` implements the CI guard: the sharing scheme's measured
+insts/sec must not drop more than ``tolerance`` below the committed
+``current`` value.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Optional
+
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import IterSource, Processor
+from repro.workloads import BENCHMARKS
+from repro.workloads.generator import SyntheticWorkload
+
+#: default location of the committed benchmark record (repo root)
+DEFAULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_cycleloop.json"
+
+BENCH_SCHEMES = ("conventional", "sharing", "early")
+
+
+def _stream(profile: str, insts: int, seed: int) -> list:
+    return list(SyntheticWorkload(BENCHMARKS[profile], total_insts=insts,
+                                  seed=seed))
+
+
+def bench_scheme(
+    scheme: str,
+    profile: str = "hmmer",
+    insts: int = 10_000,
+    seed: int = 1,
+    reps: int = 3,
+) -> dict:
+    """Throughput + allocation stats for one scheme.
+
+    The instruction stream is pregenerated outside the timed region each
+    rep (pipeline simulation mutates the DynInsts, so a stream cannot be
+    replayed).  Best-of-``reps`` wall time is reported; a final untimed
+    rep runs under tracemalloc for the allocation numbers.
+    """
+    config = MachineConfig(scheme=scheme, verify_values=False)
+    best = float("inf")
+    proc = None
+    for _ in range(reps):
+        stream = _stream(profile, insts, seed)
+        proc = Processor(config, IterSource(iter(stream)))
+        start = time.perf_counter()
+        proc.run()
+        best = min(best, time.perf_counter() - start)
+    assert proc is not None
+
+    # allocation pressure, measured separately so timing stays clean
+    stream = _stream(profile, insts, seed)
+    tracemalloc.start()
+    mem_proc = Processor(config, IterSource(iter(stream)))
+    mem_proc.run()
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    return {
+        "insts_per_sec": round(insts / best, 1),
+        "cycles_per_sec": round(proc.stats.cycles / best, 1),
+        "wall_seconds": round(best, 4),
+        "cycles": proc.stats.cycles,
+        "insts": insts,
+        "cycles_skipped": proc.cycles_skipped,
+        "alloc_peak_kb": round(peak / 1024, 1),
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    profile: str = "hmmer",
+    seed: int = 1,
+    schemes: tuple = BENCH_SCHEMES,
+) -> dict:
+    """Benchmark all schemes; returns the ``current`` section."""
+    insts = 3_000 if quick else 10_000
+    reps = 2 if quick else 3
+    results = {}
+    for scheme in schemes:
+        results[scheme] = bench_scheme(scheme, profile=profile, insts=insts,
+                                       seed=seed, reps=reps)
+    return {
+        "meta": {"profile": profile, "seed": seed, "insts": insts,
+                 "reps": reps, "quick": quick},
+        "schemes": results,
+    }
+
+
+def load_record(path: Path = DEFAULT_PATH) -> Optional[dict]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def diff_against(record: Optional[dict], current: dict) -> list[str]:
+    """Human-readable per-scheme deltas vs the committed record."""
+    lines = []
+    committed = ((record or {}).get("current") or {}).get("schemes", {})
+    for scheme, result in current["schemes"].items():
+        now = result["insts_per_sec"]
+        old = committed.get(scheme, {}).get("insts_per_sec")
+        if old:
+            delta = 100.0 * (now / old - 1.0)
+            lines.append(f"{scheme:12s} {now:10.0f} insts/s "
+                         f"({delta:+.1f}% vs committed {old:.0f})")
+        else:
+            lines.append(f"{scheme:12s} {now:10.0f} insts/s (no committed "
+                         f"reference)")
+    return lines
+
+
+def check_floor(
+    record: Optional[dict],
+    current: dict,
+    scheme: str = "sharing",
+    tolerance: float = 0.25,
+) -> tuple[bool, str]:
+    """CI guard: ``scheme`` must stay within ``tolerance`` of the committed
+    throughput.  Returns (ok, message)."""
+    committed = ((record or {}).get("current") or {}).get("schemes", {})
+    reference = committed.get(scheme, {}).get("insts_per_sec")
+    if not reference:
+        return True, f"no committed reference for {scheme!r}; floor skipped"
+    measured = current["schemes"][scheme]["insts_per_sec"]
+    floor = reference * (1.0 - tolerance)
+    if measured < floor:
+        return False, (
+            f"{scheme} throughput {measured:.0f} insts/s is below the floor "
+            f"{floor:.0f} ({(1 - tolerance) * 100:.0f}% of committed "
+            f"{reference:.0f}); if this machine is genuinely slower, "
+            f"regenerate BENCH_cycleloop.json with `python -m repro bench`"
+        )
+    return True, (f"{scheme} throughput {measured:.0f} insts/s >= floor "
+                  f"{floor:.0f} (committed {reference:.0f})")
+
+
+def write_record(
+    current: dict,
+    path: Path = DEFAULT_PATH,
+    keep_baseline: bool = True,
+) -> dict:
+    """Write BENCH_cycleloop.json, preserving the baseline section."""
+    record = load_record(path) if keep_baseline else None
+    baseline = (record or {}).get("baseline")
+    out = {"baseline": baseline, "current": current}
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    return out

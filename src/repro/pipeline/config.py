@@ -145,6 +145,28 @@ class MachineConfig:
     # safety valve for the cycle loop
     max_cycles: int = 50_000_000
 
+    # ------------------------------------------------------------------ tables
+    def opcode_table(self) -> dict:
+        """Per-opcode decode table: Op -> (fu kind, latency, pipelined).
+
+        Joins the static opcode metadata with this machine's functional-unit
+        configuration once, so consumers (the bench harness, custom
+        reporting) never re-derive latency per instruction.  Cached on the
+        instance; invalidated implicitly by ``dataclasses.replace`` because
+        that builds a new instance.
+        """
+        table = getattr(self, "_opcode_table", None)
+        if table is None:
+            from repro.isa.opcodes import OPCODES  # avoid import cycle
+
+            table = {
+                op: (info.fu, self.fu_config[info.fu][1],
+                     self.fu_config[info.fu][2])
+                for op, info in OPCODES.items()
+            }
+            object.__setattr__(self, "_opcode_table", table)
+        return table
+
     # ------------------------------------------------------------------ factories
     def make_renamer(self) -> BaseRenamer:
         if self.scheme == "conventional":

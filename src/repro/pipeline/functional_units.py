@@ -22,27 +22,31 @@ class FUPool:
             for kind, (count, _lat, pipelined) in self.config.items()
             if not pipelined
         }
-
-    def _roll(self, cycle: int) -> None:
-        if cycle != self._cycle:
-            self._cycle = cycle
-            self._used = {}
+        #: kind -> (count, latency, unpipelined slots or None), one lookup
+        #: per try_issue instead of two
+        self._kinds: dict[str, tuple[int, int, Optional[list[int]]]] = {
+            kind: (count, latency, self._busy_until.get(kind))
+            for kind, (count, latency, _pipelined) in self.config.items()
+        }
 
     def try_issue(self, kind: str, cycle: int) -> Optional[int]:
         """Reserve a unit of ``kind``; returns its latency or None if busy."""
-        self._roll(cycle)
-        count, latency, pipelined = self.config[kind]
-        if self._used.get(kind, 0) >= count:
+        used = self._used
+        if cycle != self._cycle:
+            self._cycle = cycle
+            used.clear()
+        count, latency, slots = self._kinds[kind]
+        in_use = used.get(kind, 0)
+        if in_use >= count:
             return None
-        if not pipelined:
-            slots = self._busy_until[kind]
+        if slots is not None:
             for index, busy_until in enumerate(slots):
                 if busy_until <= cycle:
                     slots[index] = cycle + latency
                     break
             else:
                 return None
-        self._used[kind] = self._used.get(kind, 0) + 1
+        used[kind] = in_use + 1
         return latency
 
     def flush(self) -> None:

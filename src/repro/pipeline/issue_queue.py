@@ -83,8 +83,9 @@ class IssueQueue:
             for tag in waiting:
                 by_tag.setdefault(tag, []).append(entry)
         else:
+            # a fresh entry holds the highest ticket yet, so appending it
+            # keeps a sorted ready list sorted — no re-sort needed
             self._ready.append(entry)
-            self._ready_dirty = True
             self._ready_view = None
 
     def wakeup(self, tag: Tag) -> None:
@@ -92,14 +93,18 @@ class IssueQueue:
         entries = self._by_tag.pop(tag, None)
         if not entries:
             return
+        ready = self._ready
         for entry in entries:
             if entry.removed:
                 continue
             entry.waiting.discard(tag)
             if not entry.waiting:
                 entry.in_ready = True
-                self._ready.append(entry)
-                self._ready_dirty = True
+                # woken entries may be older than the current tail; only
+                # then does the append break sorted order
+                if ready and ready[-1].ticket > entry.ticket:
+                    self._ready_dirty = True
+                ready.append(entry)
                 self._ready_view = None
 
     def ready_entries(self) -> list[DynInst]:

@@ -56,6 +56,7 @@ class LoadStoreQueue:
         entry = _MemEntry(dyn, is_store, 0 if is_store else self._unissued_stores)
         self._entries.append(entry)
         self._by_id[id(dyn)] = entry
+        dyn.lsq_entry = entry  # direct back-reference for the issue hot path
         if is_store:
             self._stores += 1
             self._unissued_stores += 1
@@ -71,7 +72,10 @@ class LoadStoreQueue:
 
     def load_can_issue(self, dyn: DynInst) -> bool:
         """All older stores must have issued (addresses known)."""
-        return self._entry(dyn).blockers == 0
+        entry = dyn.lsq_entry
+        if entry is None:
+            raise AssertionError("instruction not in LSQ")
+        return entry.blockers == 0
 
     def forwarding_store(self, dyn: DynInst) -> Optional[DynInst]:
         """Youngest older store to the same word, if any (already issued)."""
@@ -85,7 +89,9 @@ class LoadStoreQueue:
         return best
 
     def mark_issued(self, dyn: DynInst) -> None:
-        entry = self._entry(dyn)
+        entry = dyn.lsq_entry
+        if entry is None:
+            raise AssertionError("instruction not in LSQ")
         if entry.issued:
             return
         entry.issued = True
@@ -105,6 +111,7 @@ class LoadStoreQueue:
     # ------------------------------------------------------------------ retire
     def _remove(self, dyn: DynInst) -> None:
         entry = self._by_id.pop(id(dyn))
+        dyn.lsq_entry = None
         self._entries.remove(entry)
         if entry.is_store:
             self._stores -= 1
@@ -141,6 +148,8 @@ class LoadStoreQueue:
         return True
 
     def flush(self) -> None:
+        for entry in self._entries:
+            entry.dyn.lsq_entry = None
         self._entries.clear()
         self._by_id.clear()
         self._loads = 0

@@ -20,6 +20,7 @@ assertion instead of silently skewing results.
 from __future__ import annotations
 
 import heapq
+import os
 from itertools import count
 from typing import Iterable, Optional, Union
 
@@ -64,6 +65,8 @@ class Processor:
         on_halt=None,
         oracle=False,
         keep_trace: bool = False,
+        naive_loop: Optional[bool] = None,
+        recycle=None,
     ) -> None:
         self.config = config
         self.fault_model = fault_model
@@ -123,6 +126,19 @@ class Processor:
         self.cycle = 0
         self._halted = False
         self._last_progress = 0
+        #: quiet cycles elided by the event-driven loop (observability only;
+        #: deliberately kept out of SimStats so both loops produce
+        #: bit-identical statistics)
+        self.cycles_skipped = 0
+        if naive_loop is None:
+            naive_loop = os.environ.get("REPRO_NAIVE_LOOP", "") not in ("", "0")
+        self._naive_loop = naive_loop
+        # committed instructions may be returned to a DynInstPool, but only
+        # when nothing downstream can still hold a reference to them
+        self._recycle = recycle if (
+            recycle is not None and self.oracle is None
+            and on_commit is None and not keep_trace
+        ) else None
 
         for tag, value in self.renamer.initial_tags():
             self.scoreboard[tag] = True
@@ -154,6 +170,30 @@ class Processor:
 
     # ------------------------------------------------------------------ main loop
     def run(self, max_insts: Optional[int] = None) -> SimStats:
+        if self._naive_loop:
+            self._run_naive(max_insts)
+        else:
+            self._run_event(max_insts)
+        self._finalize()
+        # final unconditional invariant check: the interval hook only fires
+        # every on_cycle_interval cycles, so corruption in the trailing
+        # (interval - 1) cycles would otherwise escape unchecked
+        if self.on_cycle is not None and self.cycle % self.on_cycle_interval != 0:
+            self.on_cycle(self)
+        if self.oracle is not None:
+            complete = self._halted or (self.fetch.eof and len(self.rob) == 0)
+            self.oracle.on_halt(self, complete=complete)
+        if self.on_halt is not None:
+            self.on_halt(self)
+        return self.stats
+
+    def _run_naive(self, max_insts: Optional[int]) -> None:
+        """The reference cycle loop: every stage, every cycle.
+
+        Kept verbatim as the differential baseline for the event-driven
+        kernel (select with ``REPRO_NAIVE_LOOP=1`` or ``naive_loop=True``);
+        both loops must produce bit-identical :class:`SimStats`.
+        """
         interrupt_interval = self.config.interrupt_interval
         next_interrupt = interrupt_interval if interrupt_interval else None
         while not self._done(max_insts):
@@ -182,18 +222,112 @@ class Processor:
                     f"pipeline deadlock at cycle {self.cycle}: "
                     f"rob={len(self.rob)} iq={len(self.iq)} head={self.rob.head()}"
                 )
-        self._finalize()
-        # final unconditional invariant check: the interval hook only fires
-        # every on_cycle_interval cycles, so corruption in the trailing
-        # (interval - 1) cycles would otherwise escape unchecked
-        if self.on_cycle is not None and self.cycle % self.on_cycle_interval != 0:
-            self.on_cycle(self)
-        if self.oracle is not None:
-            complete = self._halted or (self.fetch.eof and len(self.rob) == 0)
-            self.oracle.on_halt(self, complete=complete)
-        if self.on_halt is not None:
-            self.on_halt(self)
-        return self.stats
+
+    def _run_event(self, max_insts: Optional[int]) -> None:
+        """Event-driven cycle loop: skip runs of provably-quiet cycles.
+
+        Active cycles evaluate the same stages in the same order as
+        :meth:`_run_naive` (with the per-stage O(1) early-outs inlined);
+        when no stage can possibly make progress the loop jumps
+        ``self.cycle`` straight to the next event — the earliest
+        completion-heap entry, the fetch unit's wake-up cycle
+        (redirect/I-cache stall expiry), the next interrupt, the cycle
+        budget, or the deadlock watchdog bound — bulk-accounting the
+        occupancy statistics and I-cache stall counters the skipped
+        cycles would have accumulated.  See docs/ARCHITECTURE.md
+        ("Cycle-loop internals") for the quiet-cycle conditions.
+        """
+        config = self.config
+        interrupt_interval = config.interrupt_interval
+        next_interrupt = interrupt_interval if interrupt_interval else None
+        max_cycles = config.max_cycles
+        stats = self.stats
+        fetch = self.fetch
+        fetch_queue = fetch.queue  # stable: FetchUnit mutates it in place
+        fetch_tick = fetch.tick
+        iq = self.iq
+        rob_entries = self.rob._entries  # stable: ReorderBuffer clears in place
+        completion = self.completion
+        free_registers = self.renamer.free_registers
+        int_cls = RegClass.INT
+        on_cycle = self.on_cycle
+        interval = self.on_cycle_interval
+        commit = self._commit
+        writeback = self._writeback
+        issue = self._issue
+        rename = self._rename
+        while not self._done(max_insts):
+            cycle = self.cycle + 1
+            self.cycle = cycle
+            if next_interrupt is not None and cycle >= next_interrupt:
+                penalty = self._handle_interrupt()
+                next_interrupt = cycle + interrupt_interval + penalty
+            if rob_entries and rob_entries[0].completed:
+                commit()
+            if completion and completion[0][0] <= cycle:
+                writeback()
+            if iq._ready:
+                issue()
+            if fetch_queue:
+                rename()
+            fetch_tick(cycle)
+            stats.rob_occupancy_sum += len(rob_entries)
+            stats.iq_occupancy_sum += iq._size
+            stats.free_regs_sum += free_registers(int_cls)
+            stats.occupancy_samples += 1
+            if on_cycle is not None and cycle % interval == 0:
+                on_cycle(self)
+            if cycle > max_cycles:
+                raise RuntimeError("cycle budget exceeded")
+            if cycle - self._last_progress > 200_000:
+                raise RuntimeError(
+                    f"pipeline deadlock at cycle {cycle}: "
+                    f"rob={len(rob_entries)} iq={iq._size} head={self.rob.head()}"
+                )
+
+            # ---- quiet-cycle skip ----------------------------------------
+            # A cycle is quiet when every stage is provably idle: nothing
+            # renameable (fetch queue empty), nothing issueable (ready list
+            # empty), nothing completing (no due completion-heap entry),
+            # nothing committable (ROB head incomplete) and fetch is
+            # stalled or exhausted.  State is then constant until the next
+            # event, so intermediate cycles only need bulk accounting.
+            if fetch_queue or self._halted:
+                continue
+            if rob_entries and rob_entries[0].completed:
+                continue
+            if iq._ready and iq.ready_entries():
+                continue
+            if self._done(max_insts):
+                continue  # let the loop condition exit at the true cycle
+            target = completion[0][0] if completion else None
+            wake = fetch.next_active_cycle(cycle)
+            if wake is not None and (target is None or wake < target):
+                target = wake
+            limit = self._last_progress + 200_001
+            if target is None or target > limit:
+                target = limit  # run into the deadlock watchdog
+            if next_interrupt is not None and next_interrupt < target:
+                target = next_interrupt
+            if target > max_cycles + 1:
+                target = max_cycles + 1
+            skipped = target - cycle - 1
+            if skipped <= 0:
+                continue
+            stats.rob_occupancy_sum += skipped * len(rob_entries)
+            stats.iq_occupancy_sum += skipped * iq._size
+            stats.free_regs_sum += skipped * free_registers(int_cls)
+            stats.occupancy_samples += skipped
+            fetch.account_idle(cycle + 1, target - 1)
+            self.cycles_skipped += skipped
+            if on_cycle is not None:
+                # fire the hook at every interval boundary inside the skip,
+                # with self.cycle set as the naive loop would have it
+                first = cycle + interval - (cycle % interval)
+                for boundary in range(first, target, interval):
+                    self.cycle = boundary
+                    on_cycle(self)
+            self.cycle = target - 1
 
     def _done(self, max_insts: Optional[int]) -> bool:
         if self._halted:
@@ -254,6 +388,8 @@ class Processor:
             if head.op is Op.HALT:
                 self._halted = True
                 return
+            if self._recycle is not None:
+                self._recycle.release(head)
             committed += 1
             self._last_progress = self.cycle
 
@@ -487,6 +623,8 @@ def simulate(
     max_insts: Optional[int] = None,
     program_budget: int = 10_000_000,
     oracle: bool = False,
+    pool=None,
+    naive_loop: Optional[bool] = None,
 ) -> SimStats:
     """Run one simulation and return its statistics.
 
@@ -498,10 +636,20 @@ def simulate(
     (:mod:`repro.verify.oracle`) is attached: program workloads get the
     full lockstep golden-model comparison, other workloads the stream-mode
     checks.
+
+    ``pool`` is an optional :class:`~repro.isa.dyninst.DynInstPool`; for
+    program workloads one is created automatically when no oracle is
+    attached, so committed instructions are recycled instead of
+    re-allocated.
     """
     checker = False
     if isinstance(workload, Program):
-        executor = FunctionalExecutor(workload, fault_model=fault_model)
+        if pool is None and not oracle:
+            from repro.isa.dyninst import DynInstPool
+
+            pool = DynInstPool()
+        executor = FunctionalExecutor(workload, fault_model=fault_model,
+                                      pool=pool)
         source: InstSource = IterSource(executor.run(program_budget))
         if oracle:
             from repro.verify.oracle import OracleChecker
@@ -515,5 +663,6 @@ def simulate(
         source = IterSource(workload)
         checker = oracle
     processor = Processor(config, source, fault_model=fault_model,
-                          oracle=checker)
+                          oracle=checker, recycle=pool,
+                          naive_loop=naive_loop)
     return processor.run(max_insts=max_insts)

@@ -305,11 +305,14 @@ class SyntheticWorkload:
         total_insts: int = 50_000,
         seed: int = 1,
         body_iters: int = 50,
+        pool=None,
     ) -> None:
         self.profile = profile
         self.total_insts = total_insts
         self.seed = seed
         self.body_iters = body_iters
+        #: optional DynInstPool shared with the consuming processor
+        self.pool = pool
         # stable across processes (str hash is salted; crc32 is not)
         rng = random.Random(seed * 1_000_003 + zlib.crc32(profile.name.encode()))
         self.bodies: list[list[_Slot]] = []
@@ -327,7 +330,7 @@ class SyntheticWorkload:
         seq = 0
         emitted = 0
         stream_iter = 0
-        last_dyn: Optional[DynInst] = None
+        pool = self.pool
 
         def value_of(ref: RegRef):
             zero = 0 if ref.cls is RegClass.INT else 0.0
@@ -339,16 +342,28 @@ class SyntheticWorkload:
                 for iteration in range(self.body_iters):
                     last_iteration = iteration == self.body_iters - 1
                     for slot in body:
-                        dyn = DynInst(
-                            seq=seq,
-                            pc=slot.pc,
-                            op=slot.op,
-                            dest=slot.dest,
-                            srcs=slot.srcs,
-                            src_values=tuple(value_of(s) for s in slot.srcs),
-                            hint_src_single_use=slot.src_single,
-                            hint_dest_single_use=slot.dest_single,
-                        )
+                        if pool is not None:
+                            dyn = pool.acquire(
+                                seq=seq,
+                                pc=slot.pc,
+                                op=slot.op,
+                                dest=slot.dest,
+                                srcs=slot.srcs,
+                                src_values=tuple(value_of(s) for s in slot.srcs),
+                                hint_src_single_use=slot.src_single,
+                                hint_dest_single_use=slot.dest_single,
+                            )
+                        else:
+                            dyn = DynInst(
+                                seq=seq,
+                                pc=slot.pc,
+                                op=slot.op,
+                                dest=slot.dest,
+                                srcs=slot.srcs,
+                                src_values=tuple(value_of(s) for s in slot.srcs),
+                                hint_src_single_use=slot.src_single,
+                                hint_dest_single_use=slot.dest_single,
+                            )
                         dyn.hint_reuse_depth = slot.dest_depth
                         if slot.dest is not None:
                             dyn.result = seq + 1  # unique token
@@ -374,7 +389,6 @@ class SyntheticWorkload:
                         seq += 1
                         emitted += 1
                         yield dyn
-                        last_dyn = dyn
                         if emitted >= self.total_insts:
                             return
                     stream_iter += 1

@@ -1,0 +1,71 @@
+"""Event-driven cycle loop vs the naive reference loop.
+
+The processor's event-driven kernel (quiet-cycle skipping, bulk idle
+accounting) must be an *invisible* optimisation: for any program, scheme
+and variant, the SimStats and the committed-instruction stream must be
+bit-for-bit identical to the naive one-iteration-per-cycle loop kept as
+the ``REPRO_NAIVE_LOOP=1`` fallback.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.isa.executor import FirstTouchFaults, FunctionalExecutor
+from repro.pipeline.processor import IterSource, Processor
+from repro.verify.fuzz import generate, fuzz_config, schemes_for
+
+PROGRAMS = 20
+SIZE = 40
+
+
+def _run(program, cfg, variant, naive: bool):
+    commits = []
+    fault_model = FirstTouchFaults(limit=4) if variant == "faults" else None
+    executor = FunctionalExecutor(program, fault_model=fault_model)
+    processor = Processor(
+        cfg, IterSource(executor.run(10_000_000)),
+        fault_model=fault_model,
+        on_commit=lambda _p, d: commits.append((d.seq, d.pc, d.op, d.result)),
+        naive_loop=naive,
+    )
+    processor.run()
+    return dataclasses.asdict(processor.stats), commits, processor
+
+
+@pytest.mark.parametrize("seed", range(PROGRAMS))
+def test_event_loop_matches_naive(seed):
+    fuzz_program = generate(seed, size=SIZE)
+    program = fuzz_program.build()
+    for scheme in schemes_for(fuzz_program.variant):
+        cfg = fuzz_config(scheme, fuzz_program.variant)
+        naive_stats, naive_commits, _ = _run(
+            program, cfg, fuzz_program.variant, naive=True)
+        event_stats, event_commits, proc = _run(
+            program, cfg, fuzz_program.variant, naive=False)
+        assert event_stats == naive_stats, (
+            f"SimStats diverged for seed={seed} scheme={scheme} "
+            f"variant={fuzz_program.variant}")
+        assert event_commits == naive_commits, (
+            f"commit stream diverged for seed={seed} scheme={scheme} "
+            f"variant={fuzz_program.variant}")
+        # the skip counter is observability, not simulated state
+        assert proc.cycles_skipped >= 0
+        assert "cycles_skipped" not in event_stats
+
+
+def test_env_var_selects_naive_loop(monkeypatch):
+    monkeypatch.setenv("REPRO_NAIVE_LOOP", "1")
+    fuzz_program = generate(0, size=SIZE)
+    cfg = fuzz_config("conventional", fuzz_program.variant)
+    executor = FunctionalExecutor(fuzz_program.build())
+    processor = Processor(cfg, IterSource(executor.run(10_000_000)))
+    assert processor._naive_loop is True
+    processor.run()
+    assert processor.cycles_skipped == 0
+
+    monkeypatch.setenv("REPRO_NAIVE_LOOP", "0")
+    executor = FunctionalExecutor(fuzz_program.build())
+    processor = Processor(cfg, IterSource(executor.run(10_000_000)))
+    assert processor._naive_loop is False

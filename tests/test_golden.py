@@ -73,8 +73,22 @@ def test_golden(case):
     if not GOLDEN_PATH.exists():
         pytest.skip("golden_stats.json not generated yet")
     golden = json.loads(GOLDEN_PATH.read_text())
-    assert case in golden, f"regenerate goldens: missing {case}"
-    assert run_case(CASES[case]) == golden[case]
+    assert case in golden, (
+        f"golden pin missing for {case!r}; regenerate with `make golden`")
+    actual = run_case(CASES[case])
+    expected = golden[case]
+    if actual != expected:
+        drift = "\n".join(
+            f"  {key}: expected {expected.get(key)!r}, got {actual.get(key)!r}"
+            for key in sorted(set(expected) | set(actual))
+            if expected.get(key) != actual.get(key)
+        )
+        raise AssertionError(
+            f"golden drift in {case}:\n{drift}\n"
+            "Timing/renaming behaviour changed. If the change is intended, "
+            "regenerate the pins with `make golden` and commit the diff; "
+            "if not, this is a simulator regression."
+        )
 
 
 if __name__ == "__main__":
