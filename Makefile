@@ -4,7 +4,8 @@ PYTHON ?= python
 JOBS ?= 4
 
 .PHONY: install test bench bench-parallel bench-full bench-floor repro \
-	examples cache-smoke verify fuzz fuzz-smoke golden lint-goldens clean
+	examples cache-smoke sampling-smoke verify fuzz fuzz-smoke golden \
+	lint-goldens clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +25,10 @@ bench-full:
 
 cache-smoke:
 	$(PYTHON) tools/cache_smoke.py
+
+# interval-sampling engine: sampled sweep determinism, CI fields, trace cache
+sampling-smoke:
+	$(PYTHON) tools/sampling_smoke.py
 
 # oracle-checked kernel battery: every scheme, lockstep vs the golden model
 verify:
@@ -55,7 +60,8 @@ golden:
 lint-goldens: golden
 
 # cycle-loop throughput gate: fail if the sharing scheme drops >25% below
-# the committed BENCH_cycleloop.json record
+# the committed BENCH_cycleloop.json record, or if interval sampling no
+# longer runs >= 3x faster than exact simulation
 bench-floor:
 	PYTHONPATH=src $(PYTHON) -m repro bench --quick --out bench-quick.json
 

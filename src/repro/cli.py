@@ -33,11 +33,18 @@ sweep engine: ``--jobs N`` (default: ``REPRO_JOBS`` env, else 1) fans the
 points out over N worker processes, and results are served from the
 persistent result cache (``REPRO_CACHE_DIR``, default
 ``~/.cache/repro/sweeps``) unless ``--no-cache`` is given.
+
+Timing simulations accept ``--sampling PERIOD:WINDOW:WARMUP`` to run
+interval-sampled (functional fast-forward between detailed measurement
+windows, :mod:`repro.sampling`) instead of cycle-by-cycle; the
+``REPRO_SAMPLING`` environment variable sets the same spec globally and
+``--exact`` overrides it back to exact simulation.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis import analyze_chains, analyze_stream
@@ -63,6 +70,34 @@ def _machine_args(parser: argparse.ArgumentParser) -> None:
                         help="model wrong-path speculation")
 
 
+def _sampling_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--sampling", default=None,
+                       metavar="PERIOD:WINDOW:WARMUP",
+                       help="interval-sampled simulation: detailed windows "
+                            "of WINDOW insts (after WARMUP warm-up insts) "
+                            "every PERIOD insts, functional fast-forward "
+                            "in between (default: REPRO_SAMPLING env, "
+                            "else exact)")
+    group.add_argument("--exact", action="store_true",
+                       help="force exact cycle-by-cycle simulation, "
+                            "overriding REPRO_SAMPLING")
+
+
+def _resolve_sampling(args) -> str | None:
+    """--exact > --sampling > REPRO_SAMPLING env > None (exact)."""
+    if getattr(args, "exact", False):
+        return None
+    spec = getattr(args, "sampling", None)
+    if spec is None:
+        spec = os.environ.get("REPRO_SAMPLING", "").strip() or None
+    if spec is not None:
+        from repro.sampling import parse_schedule
+
+        parse_schedule(spec)  # validate before any simulation starts
+    return spec
+
+
 def _sweep_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the sweep "
@@ -83,6 +118,9 @@ def _config(args) -> MachineConfig:
 
 
 def _print_stats(stats, detailed: bool = False) -> None:
+    # sampled runs: say so up front — every number below is an estimate
+    if hasattr(stats, "sampling_report"):
+        print(stats.sampling_report())
     if detailed:
         print(stats.detailed_report())
         return
@@ -100,7 +138,8 @@ def _print_stats(stats, detailed: bool = False) -> None:
         print(f"branch accuracy   {100 * stats.branch_stats.accuracy:.1f}%")
 
 
-def _simulate_program(args, program, budget=10_000_000, max_insts=None):
+def _simulate_program(args, program, budget=10_000_000, max_insts=None,
+                      sampling=None, sampling_seed=1):
     """Run a program; the hinted scheme gets lookahead hint annotation."""
     if args.scheme == "hinted":
         from repro.frontend.fetch import IterSource
@@ -109,9 +148,11 @@ def _simulate_program(args, program, budget=10_000_000, max_insts=None):
 
         executor = FunctionalExecutor(program)
         source = IterSource(annotate_hints(executor.run(budget)))
-        return simulate(_config(args), source, max_insts=max_insts)
+        return simulate(_config(args), source, max_insts=max_insts,
+                        sampling=sampling, sampling_seed=sampling_seed)
     return simulate(_config(args), program, max_insts=max_insts,
-                    program_budget=budget)
+                    program_budget=budget, sampling=sampling,
+                    sampling_seed=sampling_seed)
 
 
 def _profiled(args, fn):
@@ -136,8 +177,10 @@ def _profiled(args, fn):
 def cmd_run(args) -> int:
     with open(args.program) as handle:
         program = assemble(handle.read())
+    sampling = _resolve_sampling(args)
     stats = _profiled(
-        args, lambda: _simulate_program(args, program, max_insts=args.insts))
+        args, lambda: _simulate_program(args, program, max_insts=args.insts,
+                                        sampling=sampling))
     _print_stats(stats, args.detailed)
     return 0
 
@@ -151,7 +194,10 @@ def cmd_bench(args) -> int:
         return 1
     workload = SyntheticWorkload(BENCHMARKS[args.name],
                                  total_insts=args.insts, seed=args.seed)
-    stats = simulate(_config(args), iter(workload))
+    sampling = _resolve_sampling(args)
+    stats = simulate(_config(args), iter(workload),
+                     max_insts=args.insts if sampling else None,
+                     sampling=sampling, sampling_seed=args.seed)
     _print_stats(stats, args.detailed)
     return 0
 
@@ -180,7 +226,10 @@ def _cmd_bench_cycleloop(args) -> int:
             ok, message = bench.check_floor(record, current,
                                             tolerance=args.floor_tolerance)
             print(message)
-            if not ok:
+            sampled_ok, sampled_message = bench.check_sampled_floor(
+                current, floor=args.sampled_floor)
+            print(sampled_message)
+            if not (ok and sampled_ok):
                 return 1
         return 0
 
@@ -245,12 +294,14 @@ def cmd_compare(args) -> int:
         return 1
     profile = BENCHMARKS[args.name]
     sizes = [int(s) for s in args.sizes.split(",")]
+    sampling = _resolve_sampling(args)
     points = [SweepPoint(profile=profile, scheme=scheme, size=size,
-                         insts=args.insts, seed=args.seed)
+                         insts=args.insts, seed=args.seed, sampling=sampling)
               for size in sizes for scheme in ("conventional", "sharing")]
     cache = _sweep_cache(args)
     stats = collect_stats(run_points(points, jobs=args.jobs, cache=cache))
-    print(f"{args.name} ({profile.suite}), {args.insts} instructions")
+    suffix = f", sampled [{sampling}]" if sampling else ""
+    print(f"{args.name} ({profile.suite}), {args.insts} instructions{suffix}")
     print(f"{'RF size':>8s} {'baseline':>9s} {'proposed':>9s} {'speedup':>8s}")
     for size in sizes:
         baseline = stats[(profile.name, "conventional", size, args.seed)].ipc
@@ -269,10 +320,13 @@ def _print_cache_summary(cache) -> None:
 
 
 def cmd_figures(args) -> int:
+    from dataclasses import replace
+
     from repro.harness import (figure1, figure2, figure3, figure9, figure10,
                                figure11, figure12, headline, table1,
                                table2_result, table3)
-    scale = Scale.from_env()
+    # --exact/--sampling override whatever REPRO_SAMPLING put in the Scale
+    scale = replace(Scale.from_env(), sampling=_resolve_sampling(args))
     wanted = set(args.which) or {"all"}
     cache = _sweep_cache(args)
     engine = {"jobs": args.jobs, "cache": cache}
@@ -436,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cProfile the run; dump pstats to PATH and "
                             "print the top-15 cumulative functions")
     _machine_args(p_run)
+    _sampling_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_bench = sub.add_parser(
@@ -456,7 +511,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--floor-tolerance", type=float, default=0.25,
                          help="allowed sharing-scheme throughput drop vs "
                               "the committed record (default 0.25)")
+    p_bench.add_argument("--sampled-floor", type=float, default=3.0,
+                         help="cycle-loop bench --quick: minimum sampled/"
+                              "exact sharing-scheme speedup (default 3.0)")
     _machine_args(p_bench)
+    _sampling_args(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
     p_prof = sub.add_parser(
@@ -476,12 +535,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--insts", type=int, default=10_000)
     p_cmp.add_argument("--seed", type=int, default=1)
     _sweep_args(p_cmp)
+    _sampling_args(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
 
     p_fig = sub.add_parser("figures", help="regenerate tables/figures")
     p_fig.add_argument("which", nargs="*", default=[],
                        help="tables fig1..fig12 headline (default: all)")
     _sweep_args(p_fig)
+    _sampling_args(p_fig)
     p_fig.set_defaults(fn=cmd_figures)
 
     p_ker = sub.add_parser("kernels", help="run a real kernel")

@@ -130,6 +130,14 @@ class ConventionalRenamer(BaseRenamer):
     def read(self, tag: Tag) -> Value:
         return self._domains_by_value[tag[0]].rf.read(tag[1], tag[2])
 
+    # ------------------------------------------------------------------ sampling warmup
+    def export_predictor_state(self) -> dict:
+        # no PC-indexed predictors: nothing carries across sampling windows
+        return {}
+
+    def import_predictor_state(self, state: dict) -> None:
+        pass
+
     # ------------------------------------------------------------------ setup
     def initial_tags(self) -> list[tuple[Tag, Value]]:
         pairs: list[tuple[Tag, Value]] = []

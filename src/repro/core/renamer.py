@@ -116,6 +116,24 @@ class BaseRenamer:
     def read(self, tag: Tag) -> Value:
         raise NotImplementedError
 
+    # --- sampling warmup handoff ------------------------------------------------------
+    def export_predictor_state(self) -> dict:
+        """Snapshot of the PC-indexed predictor tables that carry history
+        across sampling windows (the register-type and single-use
+        predictors).  The sampling engine hands this state from one
+        detailed window's renamer to the next so predictor training
+        survives functional fast-forward.  Schemes without such
+        predictors return ``{}``.
+        """
+        return {}
+
+    def import_predictor_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_predictor_state`.
+
+        Unknown or mismatched entries are ignored — importing a foreign
+        scheme's state is a no-op, never an error.
+        """
+
     # --- setup / introspection --------------------------------------------------------
     def initial_tags(self) -> list[tuple[Tag, Value]]:
         """Initial (tag, value) pairs for the committed architectural state."""

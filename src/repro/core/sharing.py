@@ -544,6 +544,21 @@ class SharingRenamer(BaseRenamer):
     def read(self, tag: Tag) -> Value:
         return self._domains_by_value[tag[0]].rf.read(tag[1], tag[2])
 
+    # ====================================================================== sampling warmup
+    def export_predictor_state(self) -> dict:
+        return {
+            "type_predictor": list(self.predictor.table),
+            "single_use": list(self.single_use.table),
+        }
+
+    def import_predictor_state(self, state: dict) -> None:
+        table = state.get("type_predictor")
+        if table is not None and len(table) == len(self.predictor.table):
+            self.predictor.table = list(table)
+        table = state.get("single_use")
+        if table is not None and len(table) == len(self.single_use.table):
+            self.single_use.table = list(table)
+
     # ====================================================================== setup
     def initial_tags(self) -> list[tuple[Tag, Value]]:
         pairs: list[tuple[Tag, Value]] = []

@@ -17,6 +17,14 @@ The committed file carries two sections:
 ``check_floor`` implements the CI guard: the sharing scheme's measured
 insts/sec must not drop more than ``tolerance`` below the committed
 ``current`` value.
+
+Each scheme row also carries a ``sampled`` sub-record: the same workload
+measured through the interval-sampling engine
+(:mod:`repro.sampling`), reporting its throughput, its IPC estimate and
+the estimate's deviation from the exact run.  ``check_sampled_floor`` is
+the corresponding CI guard — sampling must actually deliver its speedup
+(sampled / exact throughput for the sharing scheme, measured in the same
+run, must stay above a floor).
 """
 
 from __future__ import annotations
@@ -36,6 +44,12 @@ from repro.workloads.generator import SyntheticWorkload
 DEFAULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_cycleloop.json"
 
 BENCH_SCHEMES = ("conventional", "sharing", "early")
+
+#: sampling schedules used for the sampled benchmark rows; long periods
+#: keep most of the fast-forward outside the warming zone (where only the
+#: branch predictor is trained), which is where the speedup comes from
+SAMPLING_QUICK = "4000:150:100"  # 2 windows at the 8 000-inst quick scale
+SAMPLING_FULL = "4000:200:120"   # 5 windows at the 20 000-inst full scale
 
 
 def _stream(profile: str, insts: int, seed: int) -> list:
@@ -82,8 +96,45 @@ def bench_scheme(
         "wall_seconds": round(best, 4),
         "cycles": proc.stats.cycles,
         "insts": insts,
+        "ipc": round(proc.stats.ipc, 4),
         "cycles_skipped": proc.cycles_skipped,
         "alloc_peak_kb": round(peak / 1024, 1),
+    }
+
+
+def bench_sampled(
+    scheme: str,
+    profile: str = "hmmer",
+    insts: int = 10_000,
+    seed: int = 1,
+    reps: int = 3,
+    spec: str = SAMPLING_FULL,
+) -> dict:
+    """Throughput + estimate quality for one scheme under interval sampling.
+
+    Same protocol as :func:`bench_scheme` — pregenerated stream, best of
+    ``reps`` — but the timed region is the sampling engine (fast-forward
+    + detailed windows) instead of the exact cycle loop.
+    """
+    from repro.pipeline.processor import simulate
+
+    config = MachineConfig(scheme=scheme, verify_values=False)
+    best = float("inf")
+    stats = None
+    for _ in range(reps):
+        stream = _stream(profile, insts, seed)
+        start = time.perf_counter()
+        stats = simulate(config, iter(stream), max_insts=insts,
+                         sampling=spec, sampling_seed=seed)
+        best = min(best, time.perf_counter() - start)
+    assert stats is not None
+    return {
+        "spec": spec,
+        "windows": stats.windows,
+        "insts_sampled": stats.insts_sampled,
+        "insts_per_sec": round(insts / best, 1),
+        "wall_seconds": round(best, 4),
+        "ipc": round(stats.ipc, 4),
     }
 
 
@@ -93,16 +144,31 @@ def run_bench(
     seed: int = 1,
     schemes: tuple = BENCH_SCHEMES,
 ) -> dict:
-    """Benchmark all schemes; returns the ``current`` section."""
-    insts = 3_000 if quick else 10_000
+    """Benchmark all schemes; returns the ``current`` section.
+
+    Every scheme is measured exactly *and* through the sampling engine
+    (same workload, same run), so the record shows what interval
+    sampling buys — its throughput multiple and the IPC it trades away.
+    """
+    insts = 8_000 if quick else 20_000
     reps = 2 if quick else 3
+    spec = SAMPLING_QUICK if quick else SAMPLING_FULL
     results = {}
     for scheme in schemes:
-        results[scheme] = bench_scheme(scheme, profile=profile, insts=insts,
-                                       seed=seed, reps=reps)
+        exact = bench_scheme(scheme, profile=profile, insts=insts,
+                             seed=seed, reps=reps)
+        sampled = bench_sampled(scheme, profile=profile, insts=insts,
+                                seed=seed, reps=reps, spec=spec)
+        sampled["speedup_vs_exact"] = round(
+            sampled["insts_per_sec"] / exact["insts_per_sec"], 2)
+        sampled["ipc_delta_pct"] = round(
+            100.0 * (sampled["ipc"] / exact["ipc"] - 1.0), 2) \
+            if exact["ipc"] else 0.0
+        exact["sampled"] = sampled
+        results[scheme] = exact
     return {
         "meta": {"profile": profile, "seed": seed, "insts": insts,
-                 "reps": reps, "quick": quick},
+                 "reps": reps, "quick": quick, "sampling": spec},
         "schemes": results,
     }
 
@@ -128,6 +194,13 @@ def diff_against(record: Optional[dict], current: dict) -> list[str]:
         else:
             lines.append(f"{scheme:12s} {now:10.0f} insts/s (no committed "
                          f"reference)")
+        sampled = result.get("sampled")
+        if sampled:
+            lines.append(
+                f"{'  sampled':12s} {sampled['insts_per_sec']:10.0f} insts/s "
+                f"({sampled['speedup_vs_exact']:.2f}x exact, "
+                f"ipc {sampled['ipc_delta_pct']:+.1f}%, "
+                f"{sampled['windows']} windows [{sampled['spec']}])")
     return lines
 
 
@@ -154,6 +227,30 @@ def check_floor(
         )
     return True, (f"{scheme} throughput {measured:.0f} insts/s >= floor "
                   f"{floor:.0f} (committed {reference:.0f})")
+
+
+def check_sampled_floor(
+    current: dict,
+    scheme: str = "sharing",
+    floor: float = 3.0,
+) -> tuple[bool, str]:
+    """CI guard: interval sampling must actually be fast.
+
+    Compares sampled vs exact throughput for ``scheme`` *within the same
+    run* (both sides saw the same machine and load), so unlike
+    :func:`check_floor` no committed reference is involved.
+    """
+    result = current["schemes"].get(scheme, {})
+    sampled = result.get("sampled")
+    if not sampled:
+        return True, f"no sampled measurement for {scheme!r}; floor skipped"
+    speedup = sampled["insts_per_sec"] / result["insts_per_sec"]
+    if speedup < floor:
+        return False, (
+            f"sampled {scheme} runs only {speedup:.2f}x faster than exact "
+            f"(floor {floor:.1f}x): the fast-forward path has regressed")
+    return True, (f"sampled {scheme} speedup {speedup:.2f}x >= floor "
+                  f"{floor:.1f}x")
 
 
 def write_record(

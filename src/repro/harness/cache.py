@@ -1,38 +1,53 @@
-"""Persistent, content-addressed cache of simulation results.
+"""Persistent, content-addressed caches for the experiment harness.
 
-Every sweep point the harness runs is a pure function of its inputs —
-the :class:`~repro.pipeline.config.MachineConfig`, the workload profile,
-the instruction count and the seed — plus the simulator's own code.  The
+Two caches live here:
+
+**Result cache** — every sweep point the harness runs is a pure function
+of its inputs — the :class:`~repro.pipeline.config.MachineConfig`, the
+workload profile, the instruction count, the seed and the sampling
+schedule (``None`` for exact runs) — plus the simulator's own code.  The
 cache keys on a stable SHA-256 of exactly those inputs, with a
 *code fingerprint* (a hash over every ``.py`` file of the ``repro``
 package) folded in so results from a stale simulator invalidate
-automatically instead of silently polluting figures.
-
-Values are :meth:`~repro.pipeline.stats.SimStats.to_dict` snapshots
-stored one-JSON-file-per-entry under the cache root:
+automatically instead of silently polluting figures.  Values are
+:meth:`~repro.pipeline.stats.SimStats.to_dict` /
+:meth:`~repro.pipeline.stats.SampledStats.to_dict` snapshots stored
+one-JSON-file-per-entry under the cache root:
 
 * ``REPRO_CACHE_DIR`` environment variable, else
 * ``~/.cache/repro/sweeps``.
 
+**Trace cache** — pregenerated synthetic-workload traces, keyed by
+(profile, insts, seed, body_iters) plus a *generator fingerprint* that
+hashes only the workload-generation modules, so simulator changes do not
+invalidate traces.  Entries are gzipped JSON-lines
+(:mod:`repro.workloads.trace_io` format) under ``REPRO_TRACE_DIR``, else
+``REPRO_CACHE_DIR``/traces, else ``~/.cache/repro/traces``.
+:func:`cached_stream` is the harness entry point: cold ProcessPool
+workers decode a trace from disk instead of re-running the generator.
+
 Corrupted or truncated entries are treated as misses (and removed), never
-as errors.  There is no automatic eviction — entries are a few KB each —
-but :meth:`ResultCache.prune` drops the oldest entries past a bound, and
-deleting the directory is always safe.
+as errors.  There is no automatic eviction — result entries are a few KB
+each — but :meth:`ResultCache.prune` drops the oldest entries past a
+bound, and deleting either directory is always safe.
 """
 
 from __future__ import annotations
 
+import gzip
 import hashlib
+import io
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from dataclasses import asdict
 from functools import lru_cache
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Union
 
 from repro.pipeline.config import MachineConfig
-from repro.pipeline.stats import SimStats
+from repro.pipeline.stats import SampledStats, SimStats, stats_from_dict
 from repro.workloads.profiles import WorkloadProfile
 
 
@@ -64,13 +79,21 @@ def code_fingerprint() -> str:
 
 
 def point_key(config: MachineConfig, profile: WorkloadProfile, insts: int,
-              seed: int, fingerprint: Optional[str] = None) -> str:
-    """Stable content hash of one simulation's complete inputs."""
+              seed: int, fingerprint: Optional[str] = None,
+              sampling: Optional[str] = None) -> str:
+    """Stable content hash of one simulation's complete inputs.
+
+    ``sampling`` is the ``PERIOD:WINDOW:WARMUP`` spec for interval-sampled
+    runs and ``None`` for exact runs — the two must never share a cache
+    entry (a sampled estimate silently standing in for an exact result
+    would corrupt golden comparisons).
+    """
     payload = {
         "config": asdict(config),
         "profile": asdict(profile),
         "insts": insts,
         "seed": seed,
+        "sampling": sampling,
         "code": fingerprint if fingerprint is not None else code_fingerprint(),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
@@ -90,25 +113,28 @@ class ResultCache:
 
     # ------------------------------------------------------------------ keys
     def key_for(self, config: MachineConfig, profile: WorkloadProfile,
-                insts: int, seed: int) -> str:
-        return point_key(config, profile, insts, seed, self.fingerprint)
+                insts: int, seed: int,
+                sampling: Optional[str] = None) -> str:
+        return point_key(config, profile, insts, seed, self.fingerprint,
+                         sampling=sampling)
 
     def key_for_point(self, point) -> str:
         """Key for a :class:`~repro.harness.parallel.SweepPoint`."""
         from repro.harness.runner import make_config  # avoid import cycle
 
         config = make_config(point.profile, point.scheme, point.size)
-        return self.key_for(config, point.profile, point.insts, point.seed)
+        return self.key_for(config, point.profile, point.insts, point.seed,
+                            sampling=getattr(point, "sampling", None))
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     # ------------------------------------------------------------------ access
-    def get(self, key: str) -> Optional[SimStats]:
+    def get(self, key: str) -> Optional[Union[SimStats, SampledStats]]:
         path = self._path(key)
         try:
             with open(path) as handle:
-                stats = SimStats.from_dict(json.load(handle))
+                stats = stats_from_dict(json.load(handle))
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -123,7 +149,7 @@ class ResultCache:
         self.hits += 1
         return stats
 
-    def put(self, key: str, stats: SimStats) -> None:
+    def put(self, key: str, stats: Union[SimStats, SampledStats]) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -170,3 +196,192 @@ class ResultCache:
             except OSError:
                 pass
         return excess
+
+
+# ---------------------------------------------------------------------- traces
+def default_trace_dir() -> Path:
+    env = os.environ.get("REPRO_TRACE_DIR")
+    if env:
+        return Path(env)
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env) / "traces"
+    return Path.home() / ".cache" / "repro" / "traces"
+
+
+@lru_cache(maxsize=1)
+def generator_fingerprint() -> str:
+    """Hash of only the workload-generation source.
+
+    Deliberately narrower than :func:`code_fingerprint`: a pregenerated
+    trace depends on the generator, the profiles and the serialization
+    format — not on the simulator.  Pipeline changes keep traces valid.
+    """
+    from repro.workloads import generator, profiles, trace_io
+
+    digest = hashlib.sha256()
+    for module in (generator, profiles, trace_io):
+        path = Path(module.__file__)
+        digest.update(path.name.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def trace_key(profile: WorkloadProfile, insts: int, seed: int,
+              body_iters: int = 50,
+              fingerprint: Optional[str] = None) -> str:
+    """Stable content hash of one pregenerated trace's inputs."""
+    payload = {
+        "profile": asdict(profile),
+        "insts": insts,
+        "seed": seed,
+        "body_iters": body_iters,
+        "generator": fingerprint if fingerprint is not None
+        else generator_fingerprint(),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class TraceCache:
+    """On-disk pregenerated-trace cache (gzipped JSON-lines per entry)."""
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 fingerprint: Optional[str] = None) -> None:
+        self.root = Path(root) if root is not None else default_trace_dir()
+        self.fingerprint = fingerprint if fingerprint is not None \
+            else generator_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, profile: WorkloadProfile, insts: int, seed: int,
+                body_iters: int = 50) -> str:
+        return trace_key(profile, insts, seed, body_iters, self.fingerprint)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.jsonl.gz"
+
+    def get_text(self, key: str) -> Optional[str]:
+        """The stored trace as JSON-lines text, or ``None`` on a miss.
+
+        The first line is a ``{"count": N}`` header; a mismatch between
+        the header and the body (a truncated write that survived
+        compression framing) reads as a miss, like any other corruption.
+        """
+        path = self._path(key)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+                body = handle.read()
+            count = header["count"]
+            if body.count("\n") != count:
+                raise ValueError("trace line count mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return body
+
+    def put_text(self, key: str, text: str, count: int) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                with gzip.open(raw, "wt", encoding="utf-8") as handle:
+                    handle.write(json.dumps({"count": count}))
+                    handle.write("\n")
+                    handle.write(text)
+            os.replace(tmp, path)  # atomic on POSIX
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return list(self.root.glob("??/*.jsonl.gz"))
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def clear(self) -> int:
+        entries = self._entries()
+        for path in entries:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return len(entries)
+
+
+class TraceStream:
+    """Re-iterable decoded trace: every iteration re-decodes the text, so
+    each pass yields fresh :class:`~repro.isa.dyninst.DynInst` objects
+    (the pipeline mutates instructions in place)."""
+
+    def __init__(self, text: str, total_insts: int) -> None:
+        self._text = text
+        self.total_insts = total_insts
+
+    def __iter__(self):
+        from repro.workloads.trace_io import load_trace
+
+        return load_trace(io.StringIO(self._text))
+
+
+#: process-local decoded-trace memo (text is shared, decoding is per-pass)
+_TRACE_MEMO: "OrderedDict[tuple, str]" = OrderedDict()
+_TRACE_MEMO_LIMIT = 8
+
+
+def cached_stream(profile: WorkloadProfile, insts: int, seed: int = 1,
+                  body_iters: int = 50, cache: Optional[TraceCache] = None):
+    """The workload stream for one sweep point, via the trace cache.
+
+    Resolution order: process-local memo -> on-disk trace cache ->
+    generate (and populate both).  Every path returns a
+    :class:`TraceStream` decoded from the serialized text — never the raw
+    generator — so jobs=1, warm-worker and cold-worker runs all consume
+    byte-identical streams.  Set ``REPRO_NO_TRACE_CACHE=1`` to bypass the
+    cache and use the in-memory generator directly.
+    """
+    if os.environ.get("REPRO_NO_TRACE_CACHE"):
+        from repro.workloads.generator import shared_workload
+
+        return shared_workload(profile, insts, seed, body_iters)
+    memo_key = (profile.name, insts, seed, body_iters)
+    text = _TRACE_MEMO.get(memo_key)
+    if text is None:
+        trace_cache = cache if cache is not None else TraceCache()
+        key = trace_cache.key_for(profile, insts, seed, body_iters)
+        text = trace_cache.get_text(key)
+        if text is None:
+            from repro.workloads.generator import SyntheticWorkload
+            from repro.workloads.trace_io import save_trace
+
+            workload = SyntheticWorkload(profile, total_insts=insts,
+                                         seed=seed, body_iters=body_iters)
+            buffer = io.StringIO()
+            count = save_trace(iter(workload), buffer)
+            text = buffer.getvalue()
+            trace_cache.put_text(key, text, count)
+        _TRACE_MEMO[memo_key] = text
+        _TRACE_MEMO.move_to_end(memo_key)
+        while len(_TRACE_MEMO) > _TRACE_MEMO_LIMIT:
+            _TRACE_MEMO.popitem(last=False)
+    else:
+        _TRACE_MEMO.move_to_end(memo_key)
+    return TraceStream(text, insts)

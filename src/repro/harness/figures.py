@@ -265,7 +265,8 @@ def figure11(scale: Scale | None = None, *, jobs: int | None = None,
     profiles = scale.profiles("specint") + scale.profiles("specfp")
     points = [
         SweepPoint(profile=profile, scheme=scheme, size=size,
-                   insts=scale.insts, seed=scale.seed)
+                   insts=scale.insts, seed=scale.seed,
+                   sampling=scale.sampling)
         for size in scale.sizes
         for profile in profiles
         for scheme in ("conventional", "sharing")
@@ -310,7 +311,8 @@ def figure12(scale: Scale | None = None, size: int = 64, *,
     all_profiles = [profile for suite in ("specint", "specfp")
                     for profile in _suite_profiles(scale, suite)]
     points = [SweepPoint(profile=profile, scheme="sharing", size=size,
-                         insts=scale.insts, seed=scale.seed)
+                         insts=scale.insts, seed=scale.seed,
+                         sampling=scale.sampling)
               for profile in all_profiles]
     by_key = collect_stats(
         run_points(points, jobs=jobs, cache=cache, progress=progress))

@@ -24,7 +24,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
-from repro.pipeline.stats import SimStats
+from repro.pipeline.stats import SimStats, stats_from_dict
 from repro.workloads.profiles import WorkloadProfile
 
 #: environment default for ``jobs`` when the caller passes None
@@ -40,14 +40,20 @@ class SweepPoint:
     size: int  # register-file size under study (the equal-area knob)
     insts: int
     seed: int
+    #: ``PERIOD:WINDOW:WARMUP`` spec for interval-sampled execution, or
+    #: None for exact simulation
+    sampling: Optional[str] = None
 
     @property
     def benchmark(self) -> str:
         return self.profile.name
 
     def label(self) -> str:
-        return (f"{self.profile.name}/{self.scheme}/rf{self.size}"
-                f"/i{self.insts}/s{self.seed}")
+        label = (f"{self.profile.name}/{self.scheme}/rf{self.size}"
+                 f"/i{self.insts}/s{self.seed}")
+        if self.sampling is not None:
+            label += f"/sampled[{self.sampling}]"
+        return label
 
 
 @dataclass
@@ -87,15 +93,25 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, jobs)
 
 
-def simulate_point(point: SweepPoint) -> SimStats:
-    """Execute one sweep point (pure function of the point)."""
-    from repro.harness.runner import make_config  # avoid import cycle
-    from repro.workloads.generator import shared_workload
+def simulate_point(point: SweepPoint):
+    """Execute one sweep point (pure function of the point).
+
+    Workloads come from the pregenerated-trace cache: a cold pool worker
+    decodes the trace from disk instead of re-running the generator, and
+    every execution path (jobs=1, warm or cold worker) consumes the
+    identical serialized stream.
+    """
+    from repro.harness.cache import cached_stream  # avoid import cycle
+    from repro.harness.runner import make_config
     from repro.pipeline.processor import simulate
 
-    workload = shared_workload(point.profile, point.insts, point.seed)
-    return simulate(make_config(point.profile, point.scheme, point.size),
-                    iter(workload))
+    workload = cached_stream(point.profile, point.insts, point.seed)
+    config = make_config(point.profile, point.scheme, point.size)
+    if point.sampling is not None:
+        # total_insts anchors the sampling schedule and scaling ratio
+        return simulate(config, iter(workload), max_insts=point.insts,
+                        sampling=point.sampling, sampling_seed=point.seed)
+    return simulate(config, iter(workload))
 
 
 def _worker(payload: tuple[int, SweepPoint]) -> tuple[int, Optional[dict], Optional[str]]:
@@ -147,7 +163,7 @@ def run_points(
     if jobs == 1 or len(pending) <= 1:
         for index in pending:
             _, stats_dict, error = _worker((index, points[index]))
-            stats = None if stats_dict is None else SimStats.from_dict(stats_dict)
+            stats = None if stats_dict is None else stats_from_dict(stats_dict)
             finish(index, PointResult(points[index], stats=stats, error=error))
         return results  # type: ignore[return-value]
 
@@ -158,7 +174,7 @@ def run_points(
         payloads = [(index, points[index]) for index in pending]
         for index, stats_dict, error in pool.map(_worker, payloads,
                                                  chunksize=chunksize):
-            stats = None if stats_dict is None else SimStats.from_dict(stats_dict)
+            stats = None if stats_dict is None else stats_from_dict(stats_dict)
             finish(index, PointResult(points[index], stats=stats, error=error))
     return results  # type: ignore[return-value]
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.harness.parallel import SweepPoint, collect_stats, run_points
 from repro.pipeline.config import MachineConfig
@@ -34,6 +34,8 @@ class Scale:
     sizes: tuple[int, ...] = RF_SIZES
     seed: int = 1
     seeds: tuple[int, ...] = (1,)  # speedup sweeps average across these
+    #: ``PERIOD:WINDOW:WARMUP`` interval-sampling spec, or None for exact
+    sampling: str | None = None
 
     @staticmethod
     def quick() -> "Scale":
@@ -46,7 +48,15 @@ class Scale:
 
     @staticmethod
     def from_env() -> "Scale":
-        return Scale.full() if os.environ.get("REPRO_SCALE") == "full" else Scale.quick()
+        scale = Scale.full() if os.environ.get("REPRO_SCALE") == "full" \
+            else Scale.quick()
+        sampling = os.environ.get("REPRO_SAMPLING", "").strip()
+        if sampling:
+            from repro.sampling import parse_schedule
+
+            parse_schedule(sampling)  # validate early, fail loudly
+            scale = replace(scale, sampling=sampling)
+        return scale
 
     def profiles(self, suite_name: str) -> list[WorkloadProfile]:
         if self.benchmarks_per_suite is None:
@@ -102,7 +112,7 @@ def enumerate_pair_points(profiles, scale: Scale) -> list[SweepPoint]:
     """The (baseline, proposed) sweep grid as declarative points."""
     return [
         SweepPoint(profile=profile, scheme=scheme, size=size,
-                   insts=scale.insts, seed=seed)
+                   insts=scale.insts, seed=seed, sampling=scale.sampling)
         for profile in profiles
         for size in scale.sizes
         for seed in scale.seeds

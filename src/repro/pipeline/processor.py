@@ -67,6 +67,8 @@ class Processor:
         keep_trace: bool = False,
         naive_loop: Optional[bool] = None,
         recycle=None,
+        branch_unit: Optional[BranchUnit] = None,
+        hierarchy=None,
     ) -> None:
         self.config = config
         self.fault_model = fault_model
@@ -87,8 +89,11 @@ class Processor:
         self.oracle = oracle or None
         #: committed instructions in commit order (when keep_trace is set)
         self.trace: Optional[list[DynInst]] = [] if keep_trace else None
-        self.hierarchy = config.make_hierarchy()
-        self.branch_unit = BranchUnit(
+        # externally provided hierarchy / branch unit let the sampling
+        # engine keep warmed caches and predictors alive across windows
+        self.hierarchy = hierarchy if hierarchy is not None \
+            else config.make_hierarchy()
+        self.branch_unit = branch_unit if branch_unit is not None else BranchUnit(
             kind=config.branch_predictor,
             table_size=config.predictor_table,
             btb_entries=config.btb_entries,
@@ -625,6 +630,8 @@ def simulate(
     oracle: bool = False,
     pool=None,
     naive_loop: Optional[bool] = None,
+    sampling=None,
+    sampling_seed: int = 1,
 ) -> SimStats:
     """Run one simulation and return its statistics.
 
@@ -641,7 +648,25 @@ def simulate(
     program workloads one is created automatically when no oracle is
     attached, so committed instructions are recycled instead of
     re-allocated.
+
+    ``sampling`` selects interval-sampled simulation: a
+    :class:`~repro.sampling.SamplingSchedule` or a ``"P:W:U"`` spec
+    string.  The run then returns a
+    :class:`~repro.pipeline.stats.SampledStats` estimate instead of exact
+    :class:`SimStats`; ``sampling_seed`` seeds the schedule's random
+    phase offset.  Sampled runs cannot attach the oracle (measurement
+    windows start from warm, unverifiable microarchitectural state).
     """
+    if sampling is not None:
+        if oracle:
+            raise ValueError(
+                "sampled simulation cannot attach the oracle; use exact mode")
+        from repro.sampling import as_schedule, sampled_simulate
+
+        return sampled_simulate(
+            config, workload, schedule=as_schedule(sampling, seed=sampling_seed),
+            total_insts=max_insts, fault_model=fault_model,
+            program_budget=program_budget, pool=pool, naive_loop=naive_loop)
     checker = False
     if isinstance(workload, Program):
         if pool is None and not oracle:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -202,3 +203,197 @@ class SimStats:
             f"exceptions        {self.exceptions} (recovery cycles {self.recovery_cycles})",
         ]
         return "\n".join(lines)
+
+
+# ====================================================================== counter arithmetic
+def delta_counters(end, start):
+    """Recursive ``end - start`` over :meth:`SimStats.to_dict` snapshots.
+
+    Numbers subtract, dicts/lists recurse elementwise, everything else
+    (None components, strings) keeps the ``end`` value.  Used by the
+    sampling engine to isolate one measurement window's counters from a
+    processor's cumulative statistics.
+    """
+    if isinstance(end, dict):
+        start = start if isinstance(start, dict) else {}
+        return {key: delta_counters(value, start.get(key))
+                for key, value in end.items()}
+    if isinstance(end, list):
+        start = start if isinstance(start, list) else [0] * len(end)
+        return [delta_counters(value, before)
+                for value, before in zip(end, start)]
+    if isinstance(end, (int, float)) and not isinstance(end, bool):
+        return end - (start if isinstance(start, (int, float)) else 0)
+    return end
+
+
+def add_counters(a, b):
+    """Recursive ``a + b`` over snapshot dicts (inverse of deltas)."""
+    if isinstance(a, dict):
+        b = b if isinstance(b, dict) else {}
+        return {key: add_counters(value, b.get(key)) for key, value in a.items()}
+    if isinstance(a, list):
+        b = b if isinstance(b, list) else [0] * len(a)
+        return [add_counters(value, other) for value, other in zip(a, b)]
+    if isinstance(a, (int, float)) and not isinstance(a, bool):
+        return a + (b if isinstance(b, (int, float)) else 0)
+    return a
+
+
+def scale_counters(value, ratio: float):
+    """Recursively scale counters by ``ratio``; ints stay ints (rounded)."""
+    if isinstance(value, dict):
+        return {key: scale_counters(item, ratio) for key, item in value.items()}
+    if isinstance(value, list):
+        return [scale_counters(item, ratio) for item in value]
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return round(value * ratio)
+    if isinstance(value, float):
+        return value * ratio
+    return value
+
+
+def _mean(values) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _stderr(values) -> float:
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = _mean(values)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return math.sqrt(variance / n)
+
+
+# ====================================================================== sampled stats
+@dataclass
+class SampledStats:
+    """Whole-stream estimate produced by interval-sampled simulation.
+
+    ``est`` holds per-window counters scaled to the full instruction
+    stream; attribute access falls through to it, so figure/report code
+    written against :class:`SimStats` (``.ipc``, ``.renamer_stats``, ...)
+    works unchanged.  The per-window metric lists carry the statistical
+    quality of the estimate: ``*_mean``/``*_stderr``/``*_ci95`` expose a
+    normal-approximation 95% confidence interval for IPC and the paper's
+    key renaming metrics.
+    """
+
+    est: SimStats
+    schedule: tuple  # (period, window, warmup) in instructions
+    schedule_seed: int
+    phase_offset: int
+    windows: int
+    insts_total: int
+    insts_sampled: int  # committed inside measurement windows
+    insts_warmup: int  # committed in detailed warmup (measured, discarded)
+    insts_fast_forwarded: int  # consumed functionally between windows
+    cycles_sampled: int
+    window_ipc: list = field(default_factory=list)
+    window_reuse_rate: list = field(default_factory=list)  # reuses / dest renames
+    window_alloc_saved_rate: list = field(default_factory=list)  # reuses / committed
+    window_shadow_occupancy: list = field(default_factory=list)  # shadow cells in use
+
+    #: metric name -> per-window sample list (CI reporting)
+    _METRICS = {
+        "ipc": "window_ipc",
+        "reuse_rate": "window_reuse_rate",
+        "alloc_saved_rate": "window_alloc_saved_rate",
+        "shadow_occupancy": "window_shadow_occupancy",
+    }
+
+    def __getattr__(self, name):
+        # only called for attributes not found on SampledStats itself:
+        # delegate the SimStats API to the scaled whole-stream estimate
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.est, name)
+
+    # ------------------------------------------------------------------ CI
+    def metric_samples(self, metric: str) -> list:
+        return getattr(self, self._METRICS[metric])
+
+    def mean(self, metric: str) -> float:
+        return _mean(self.metric_samples(metric))
+
+    def stderr(self, metric: str) -> float:
+        return _stderr(self.metric_samples(metric))
+
+    def ci95(self, metric: str) -> float:
+        """Half-width of the 95% confidence interval (normal approx)."""
+        return 1.96 * self.stderr(metric)
+
+    def ci_report(self) -> dict:
+        """{metric: {"mean", "stderr", "ci95"}} for every sampled metric."""
+        return {
+            metric: {"mean": self.mean(metric), "stderr": self.stderr(metric),
+                     "ci95": self.ci95(metric)}
+            for metric in self._METRICS
+        }
+
+    @property
+    def detail_fraction(self) -> float:
+        """Fraction of the stream simulated in detailed mode."""
+        if not self.insts_total:
+            return 0.0
+        return (self.insts_sampled + self.insts_warmup) / self.insts_total
+
+    def sampling_report(self) -> str:
+        period, window, warmup = self.schedule
+        ipc = self.mean("ipc")
+        lines = [
+            f"sampling          {period}:{window}:{warmup} "
+            f"(seed {self.schedule_seed}, phase offset {self.phase_offset})",
+            f"windows           {self.windows} "
+            f"({self.insts_sampled} measured + {self.insts_warmup} warmup insts, "
+            f"{self.insts_fast_forwarded} fast-forwarded, "
+            f"{100 * self.detail_fraction:.1f}% detailed)",
+            f"IPC estimate      {ipc:.4f} ± {self.ci95('ipc'):.4f} (95% CI)",
+            f"reuse rate        {self.mean('reuse_rate'):.4f} "
+            f"± {self.ci95('reuse_rate'):.4f}",
+        ]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        return {
+            "__sampled__": True,
+            "est": self.est.to_dict(),
+            "schedule": list(self.schedule),
+            "schedule_seed": self.schedule_seed,
+            "phase_offset": self.phase_offset,
+            "windows": self.windows,
+            "insts_total": self.insts_total,
+            "insts_sampled": self.insts_sampled,
+            "insts_warmup": self.insts_warmup,
+            "insts_fast_forwarded": self.insts_fast_forwarded,
+            "cycles_sampled": self.cycles_sampled,
+            "window_ipc": list(self.window_ipc),
+            "window_reuse_rate": list(self.window_reuse_rate),
+            "window_alloc_saved_rate": list(self.window_alloc_saved_rate),
+            "window_shadow_occupancy": list(self.window_shadow_occupancy),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SampledStats":
+        data = dict(payload)
+        data.pop("__sampled__", None)
+        data["est"] = SimStats.from_dict(data["est"])
+        data["schedule"] = tuple(data["schedule"])
+        return cls(**data)
+
+
+def stats_from_dict(payload: dict):
+    """Rebuild a :class:`SimStats` or :class:`SampledStats` snapshot.
+
+    The sampled variant is marked with ``"__sampled__": True`` in its
+    :meth:`SampledStats.to_dict` payload; everything else is a plain
+    :class:`SimStats` dict.  This is the single deserialization entry
+    point for the result cache and the sweep worker processes.
+    """
+    if payload.get("__sampled__"):
+        return SampledStats.from_dict(payload)
+    return SimStats.from_dict(payload)

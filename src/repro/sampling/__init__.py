@@ -1,0 +1,29 @@
+"""Interval-sampled simulation (SMARTS-style fast-forward + windows).
+
+Public surface:
+
+* :class:`~repro.sampling.schedule.SamplingSchedule` /
+  :func:`~repro.sampling.schedule.parse_schedule` /
+  :func:`~repro.sampling.schedule.as_schedule` — ``PERIOD:WINDOW:WARMUP``
+  schedules with a seeded random phase offset;
+* :class:`~repro.sampling.warmer.FunctionalWarmer` — functional
+  fast-forward that keeps the branch / register-type / single-use
+  predictors warm between windows;
+* :func:`~repro.sampling.engine.sampled_simulate` — the engine; usually
+  reached through ``repro.pipeline.processor.simulate(..., sampling=...)``
+  or the CLI's ``--sampling`` flag.
+"""
+
+from repro.sampling.engine import sampled_simulate
+from repro.sampling.schedule import (DEFAULT_SPEC, SamplingSchedule,
+                                     as_schedule, parse_schedule)
+from repro.sampling.warmer import FunctionalWarmer
+
+__all__ = [
+    "DEFAULT_SPEC",
+    "SamplingSchedule",
+    "FunctionalWarmer",
+    "as_schedule",
+    "parse_schedule",
+    "sampled_simulate",
+]

@@ -1,0 +1,262 @@
+"""Interval-sampled simulation: fast-forward + detailed windows.
+
+The engine alternates between two execution modes over one dynamic
+instruction stream:
+
+* **functional fast-forward** — the :class:`~repro.sampling.warmer.FunctionalWarmer`
+  consumes instructions at full speed, training the branch predictor and
+  the PC-indexed rename predictors so that long-lived microarchitectural
+  state survives the skipped regions;
+* **detailed windows** — a fresh :class:`~repro.pipeline.processor.Processor`
+  (sharing the warmed :class:`~repro.frontend.branch_predictor.BranchUnit`
+  and importing the warmed predictor tables) runs ``warmup`` instructions
+  whose measurements are discarded, then ``window`` instructions whose
+  counter deltas become one sample.
+
+Per-window counter deltas are summed and scaled by
+``total_insts / sampled_insts`` into a whole-stream estimate; per-window
+metric samples drive the standard-error / confidence-interval fields of
+:class:`~repro.pipeline.stats.SampledStats`.
+
+Window processors always run with ``verify_values=False`` (a window's
+pipeline renames from scratch, so the first consumers of pre-window
+values would read stale physical-register contents) and cannot attach
+the commit-time oracle for the same reason — ``--exact`` exists for
+verification runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Union
+
+from repro.frontend.branch_predictor import BranchUnit
+from repro.isa.dyninst import DynInst
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.program import Program
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import Processor
+from repro.pipeline.stats import (SampledStats, SimStats, add_counters,
+                                  delta_counters, scale_counters)
+from repro.sampling.schedule import SamplingSchedule
+from repro.sampling.warmer import FunctionalWarmer
+
+
+class _SampledSource:
+    """Single-pass counting wrapper around the instruction stream.
+
+    Serves both consumers — the warmer (via :meth:`take`) and window
+    processors (via the :class:`~repro.frontend.fetch.InstSource`
+    protocol's ``next_inst``) — so ``consumed`` is the one authoritative
+    stream position.  Windows overshoot their budget by whatever the
+    dropped processor still held in flight (fetch queue + ROB); the
+    absolute-position schedule in :func:`sampled_simulate` absorbs that
+    drift instead of accumulating it.
+    """
+
+    __slots__ = ("_take", "limit", "consumed", "exhausted")
+
+    def __init__(self, take_fn, limit: Optional[int] = None) -> None:
+        self._take = take_fn
+        self.limit = limit
+        self.consumed = 0
+        self.exhausted = False
+
+    def take(self) -> Optional[DynInst]:
+        if self.exhausted:
+            return None
+        if self.limit is not None and self.consumed >= self.limit:
+            self.exhausted = True
+            return None
+        dyn = self._take()
+        if dyn is None:
+            self.exhausted = True
+            return None
+        self.consumed += 1
+        return dyn
+
+    # InstSource protocol (window processors fetch through the same counter)
+    def next_inst(self) -> Optional[DynInst]:
+        return self.take()
+
+
+def _window_metrics(delta: dict) -> tuple[int, int, float, float, float]:
+    """(committed, cycles, ipc, reuse_rate, alloc_saved_rate) of one window."""
+    committed = delta.get("committed") or 0
+    cycles = delta.get("cycles") or 0
+    ipc = committed / cycles if cycles else 0.0
+    rstats = delta.get("renamer_stats") or {}
+    dest = rstats.get("dest_insts") or 0
+    reuses = rstats.get("reuses") or 0
+    reuse_rate = reuses / dest if dest else 0.0
+    alloc_saved = reuses / committed if committed else 0.0
+    return committed, cycles, ipc, reuse_rate, alloc_saved
+
+
+def _shadow_occupancy(renamer) -> float:
+    """Point sample: shadow cells holding a live reused version."""
+    hist = renamer.live_version_histogram()
+    return float(sum((v - 1) * n for v, n in hist.items() if v > 1))
+
+
+#: instructions of full (cache + predictor) warming directly before each
+#: detailed window; further out, fast-forward only trains the branch
+#: predictor — older cache/def-use state would be overwritten anyway
+DEFAULT_WARM_ZONE = 3000
+
+
+def sampled_simulate(
+    config: MachineConfig,
+    workload: Union[Program, Iterable[DynInst]],
+    schedule: SamplingSchedule,
+    total_insts: Optional[int] = None,
+    fault_model=None,
+    program_budget: int = 10_000_000,
+    pool=None,
+    naive_loop: Optional[bool] = None,
+    warm_zone: int = DEFAULT_WARM_ZONE,
+) -> SampledStats:
+    """Run one interval-sampled simulation; returns a :class:`SampledStats`.
+
+    ``total_insts`` caps the stream and anchors the scaling ratio; when
+    ``None`` the stream's own length (it must be finite) is used.
+    Streams shorter than one period degrade gracefully to a single
+    whole-stream detailed window (an exact measurement).
+    """
+    if config.verify_values:
+        config = dataclasses.replace(config, verify_values=False)
+
+    if isinstance(workload, Program):
+        executor = FunctionalExecutor(workload, fault_model=fault_model,
+                                      pool=pool)
+        it = executor.run(program_budget)
+        source = _SampledSource(lambda: next(it, None), limit=total_insts)
+    elif hasattr(workload, "next_inst"):
+        source = _SampledSource(workload.next_inst, limit=total_insts)
+    else:
+        it = iter(workload)
+        source = _SampledSource(lambda: next(it, None), limit=total_insts)
+
+    branch_unit = BranchUnit(kind=config.branch_predictor,
+                             table_size=config.predictor_table,
+                             btb_entries=config.btb_entries,
+                             ras_depth=config.ras_depth)
+    # one memory hierarchy for the whole run: the warmer touches it during
+    # fast-forward, so windows start with realistic cache/TLB contents
+    hierarchy = config.make_hierarchy()
+
+    def window_processor() -> Processor:
+        return Processor(config, source, fault_model=fault_model,
+                         recycle=pool, naive_loop=naive_loop,
+                         branch_unit=branch_unit, hierarchy=hierarchy)
+
+    # --- degenerate schedule: stream shorter than one period -----------------
+    if total_insts is not None and total_insts < schedule.period:
+        proc = window_processor()
+        stats = proc.run()
+        payload = stats.to_dict()
+        committed, cycles, ipc, reuse_rate, alloc_saved = \
+            _window_metrics(payload)
+        return SampledStats(
+            est=stats,
+            schedule=(schedule.period, schedule.window, schedule.warmup),
+            schedule_seed=schedule.seed,
+            phase_offset=0,
+            windows=1,
+            insts_total=committed,
+            insts_sampled=committed,
+            insts_warmup=0,
+            insts_fast_forwarded=0,
+            cycles_sampled=cycles,
+            window_ipc=[ipc],
+            window_reuse_rate=[reuse_rate],
+            window_alloc_saved_rate=[alloc_saved],
+            window_shadow_occupancy=[_shadow_occupancy(proc.renamer)],
+        )
+
+    warmer = FunctionalWarmer(config, branch_unit, hierarchy=hierarchy)
+    phase = schedule.phase_offset()
+
+    deltas: list[dict] = []
+    window_ipc: list[float] = []
+    window_reuse_rate: list[float] = []
+    window_alloc_saved: list[float] = []
+    window_shadow: list[float] = []
+    insts_sampled = 0
+    insts_warmup = 0
+    cycles_sampled = 0
+
+    k = 0
+    while not source.exhausted:
+        # stratified sampling: each period draws its own window offset
+        next_detail = k * schedule.period + schedule.window_offset(k)
+        k += 1
+        gap = next_detail - source.consumed
+        if gap > warm_zone:
+            warmer.skim(source, gap - warm_zone)
+            gap = next_detail - source.consumed
+        if gap > 0:
+            warmer.fast_forward(source, gap)
+        if source.exhausted:
+            break
+
+        proc = window_processor()
+        proc.renamer.import_predictor_state(warmer.export_predictor_state())
+        if schedule.warmup:
+            proc.run(max_insts=schedule.warmup)
+            start = proc.stats.to_dict()
+        else:
+            start = None
+        proc.run(max_insts=schedule.detail)
+        end = proc.stats.to_dict()
+        delta = delta_counters(end, start) if start is not None else end
+
+        committed, cycles, ipc, reuse_rate, alloc_saved = \
+            _window_metrics(delta)
+        if committed > 0:
+            deltas.append(delta)
+            insts_sampled += committed
+            cycles_sampled += cycles
+            window_ipc.append(ipc)
+            window_reuse_rate.append(reuse_rate)
+            window_alloc_saved.append(alloc_saved)
+            window_shadow.append(_shadow_occupancy(proc.renamer))
+        if start is not None:
+            insts_warmup += start.get("committed") or 0
+
+        # the window's renamer trained its predictors exactly; carry that
+        # state back into the warmer for the next fast-forward stretch
+        warmer.import_predictor_state(proc.renamer.export_predictor_state())
+        warmer.reset_live()
+
+    total = source.consumed
+    if deltas:
+        summed = deltas[0]
+        for delta in deltas[1:]:
+            summed = add_counters(summed, delta)
+        ratio = total / insts_sampled if insts_sampled else 1.0
+        payload = scale_counters(summed, ratio)
+        payload["committed"] = total
+        est = SimStats.from_dict(payload)
+    else:
+        # stream ended inside the first fast-forward stretch: nothing
+        # measured — an all-zero estimate (callers should size total_insts
+        # to cover at least one period, or use exact mode)
+        est = SimStats()
+
+    return SampledStats(
+        est=est,
+        schedule=(schedule.period, schedule.window, schedule.warmup),
+        schedule_seed=schedule.seed,
+        phase_offset=phase,
+        windows=len(deltas),
+        insts_total=total,
+        insts_sampled=insts_sampled,
+        insts_warmup=insts_warmup,
+        insts_fast_forwarded=total - insts_sampled - insts_warmup,
+        cycles_sampled=cycles_sampled,
+        window_ipc=window_ipc,
+        window_reuse_rate=window_reuse_rate,
+        window_alloc_saved_rate=window_alloc_saved,
+        window_shadow_occupancy=window_shadow,
+    )

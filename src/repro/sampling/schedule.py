@@ -1,0 +1,100 @@
+"""Sampling schedules: (period, window, warmup) in instructions.
+
+A schedule divides the dynamic instruction stream into periods of
+``period`` instructions.  Each period is fast-forwarded functionally
+except for a detailed tail of ``warmup + window`` instructions: the
+warmup portion runs through the full out-of-order pipeline but is
+discarded (it fills the ROB/IQ/caches and settles the rename state), the
+window portion is measured.  A seeded random *phase offset* shifts the
+whole pattern so windows do not systematically align with the workload's
+loop structure (the classic systematic-sampling failure mode).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: documented starting point for ``--sampling``/``REPRO_SAMPLING``:
+#: 17.5% detailed, ~20 windows at the full-scale instruction counts
+DEFAULT_SPEC = "2000:250:100"
+
+
+@dataclass(frozen=True)
+class SamplingSchedule:
+    """One interval-sampling schedule with a seeded phase offset."""
+
+    period: int
+    window: int
+    warmup: int = 0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("sampling window must be >= 1 instruction")
+        if self.warmup < 0:
+            raise ValueError("sampling warmup must be >= 0")
+        if self.period <= self.window + self.warmup:
+            raise ValueError(
+                f"sampling period ({self.period}) must exceed "
+                f"window + warmup ({self.window + self.warmup}); "
+                f"otherwise nothing is fast-forwarded — use exact mode")
+
+    @property
+    def detail(self) -> int:
+        """Detailed instructions per period (warmup + window)."""
+        return self.window + self.warmup
+
+    @property
+    def fast_forward(self) -> int:
+        """Fast-forwarded instructions per period."""
+        return self.period - self.detail
+
+    @property
+    def spec(self) -> str:
+        """The canonical ``PERIOD:WINDOW:WARMUP`` spec string."""
+        return f"{self.period}:{self.window}:{self.warmup}"
+
+    def window_offset(self, k: int) -> int:
+        """Deterministic pseudo-random offset of window ``k`` within its
+        period, in ``[0, fast_forward]``.
+
+        Each period gets an independently drawn offset (stratified random
+        sampling) so detailed windows cannot systematically align with
+        the workload's loop structure — the classic aliasing failure of
+        fixed-stride sampling.  A pure function of (schedule, seed, k):
+        the same inputs always produce the identical sampling pattern,
+        which the determinism tests (jobs=1 vs jobs=N vs cached) rely on.
+        """
+        rng = random.Random(
+            (self.seed * 0x9E3779B1) ^ (k * 0x85EBCA77)
+            ^ (self.period << 20) ^ (self.window << 10) ^ self.warmup
+        )
+        return rng.randrange(self.fast_forward + 1)
+
+    def phase_offset(self) -> int:
+        """Offset of the first detailed window (= ``window_offset(0)``)."""
+        return self.window_offset(0)
+
+
+def parse_schedule(spec: str, seed: int = 1) -> SamplingSchedule:
+    """Parse a ``PERIOD:WINDOW:WARMUP`` spec (e.g. ``2000:250:100``)."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise ValueError(
+            f"sampling spec {spec!r} must be PERIOD:WINDOW:WARMUP "
+            f"(e.g. {DEFAULT_SPEC})")
+    try:
+        period, window, warmup = (int(part) for part in parts)
+    except ValueError:
+        raise ValueError(
+            f"sampling spec {spec!r}: all three fields must be integers")
+    return SamplingSchedule(period=period, window=window, warmup=warmup,
+                            seed=seed)
+
+
+def as_schedule(sampling, seed: int = 1) -> SamplingSchedule:
+    """Coerce a spec string or schedule to a :class:`SamplingSchedule`."""
+    if isinstance(sampling, SamplingSchedule):
+        return sampling
+    return parse_schedule(sampling, seed=seed)

@@ -1,0 +1,276 @@
+"""Functional fast-forward with microarchitectural predictor warming.
+
+The fast-forward mode of the sampling engine consumes the dynamic
+instruction stream at full speed — no renaming, no scheduling, no memory
+hierarchy — while still training the predictors whose state must carry
+across measurement windows:
+
+* the **branch predictor** (shared :class:`~repro.frontend.branch_predictor.BranchUnit`
+  object, also used by the detailed windows) observes every branch;
+* the **register-type predictor** and **single-use predictor** are
+  trained against an architectural def-use model of the sharing scheme:
+  per logical register the warmer tracks the live value's consumer count,
+  first-consumer PC and the reuse chain of its backing register, and
+  replays the paper's training rules (release decrement, extra-use reset,
+  shadow-starvation increment, single-use confirm/deny) without
+  simulating physical registers.
+
+The warmed tables are handed to each detailed window's renamer through
+:meth:`~repro.core.renamer.BaseRenamer.import_predictor_state`, and the
+window's (exactly trained) tables are read back afterwards, so
+fast-forward only ever has to *bridge* the gaps between windows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.branch_predictor import BranchUnit
+from repro.isa.dyninst import DynInst
+from repro.pipeline.config import MachineConfig
+
+
+class _LiveValue:
+    """One live logical-register value and its backing reuse chain."""
+
+    __slots__ = ("alloc_index", "bank", "version", "uses", "first_pc",
+                 "multi_use", "stale", "reused_by_pc")
+
+    def __init__(self, alloc_index: int, bank: int, version: int = 0) -> None:
+        self.alloc_index = alloc_index  # type-predictor entry that allocated
+        self.bank = bank  # predicted bank == shadow cells available
+        self.version = version  # reuses performed on the backing register
+        self.uses = 0  # consumers of the current value
+        self.first_pc: Optional[int] = None  # first consumer's PC
+        self.multi_use = False  # a second consumer appeared
+        self.stale = False  # register usurped by a predicted reuse
+        self.reused_by_pc = 0  # the reusing consumer's PC (repair training)
+
+
+class FunctionalWarmer:
+    """Consumes instructions functionally while warming the predictors."""
+
+    def __init__(self, config: MachineConfig, branch_unit: BranchUnit,
+                 hierarchy=None) -> None:
+        self.branch_unit = branch_unit
+        self.hierarchy = hierarchy
+        # i-fetch warming is line-grained (as in the detailed fetch unit):
+        # consecutive pcs on one line touch the L1-I once
+        self._line_bytes = (hierarchy.config.line_bytes
+                            if hierarchy is not None else 64)
+        self._last_fetch_line = -1
+        self.track = config.scheme in ("sharing", "hinted")
+        self.live: dict = {}  # RegRef -> _LiveValue
+        if self.track:
+            # probe renamer: guarantees the warmed tables match the window
+            # renamers' predictor geometry exactly (banks, entries)
+            probe = config.make_renamer()
+            self.predictor = probe.predictor
+            self.single_use = probe.single_use
+            self.max_version = next(
+                iter(probe.domains.values())).prt.max_version
+        else:
+            self.predictor = None
+            self.single_use = None
+            self.max_version = 0
+
+    # ------------------------------------------------------------------ state handoff
+    def export_predictor_state(self) -> dict:
+        if not self.track:
+            return {}
+        return {
+            "type_predictor": list(self.predictor.table),
+            "single_use": list(self.single_use.table),
+        }
+
+    def import_predictor_state(self, state: dict) -> None:
+        if not self.track or not state:
+            return
+        table = state.get("type_predictor")
+        if table is not None and len(table) == len(self.predictor.table):
+            self.predictor.table = list(table)
+        table = state.get("single_use")
+        if table is not None and len(table) == len(self.single_use.table):
+            self.single_use.table = list(table)
+
+    def reset_live(self) -> None:
+        """Drop def-use records (a detailed window made them stale)."""
+        self.live.clear()
+
+    # ------------------------------------------------------------------ fast-forward
+    def fast_forward(self, source, count: int) -> int:
+        """Consume up to ``count`` instructions with full warming."""
+        if self.track:
+            take = source.take
+            observe = self.observe
+            consumed = 0
+            for _ in range(count):
+                dyn = take()
+                if dyn is None:
+                    break
+                observe(dyn)
+                consumed += 1
+            return consumed
+        # untracked schemes: branch + memory warming only, inlined
+        take = source.take
+        branch_observe = self.branch_unit.observe
+        hierarchy = self.hierarchy
+        line_bytes = self._line_bytes
+        consumed = 0
+        for _ in range(count):
+            dyn = take()
+            if dyn is None:
+                break
+            consumed += 1
+            info = dyn.info
+            if info.is_branch:
+                branch_observe(dyn)
+            if hierarchy is None:
+                continue
+            line = dyn.pc // line_bytes
+            if line != self._last_fetch_line:
+                self._last_fetch_line = line
+                hierarchy.inst_fetch(dyn.pc, False, 0)
+            if dyn.mem_addr is not None and (info.is_load or info.is_store):
+                hierarchy.data_access(dyn.pc, dyn.mem_addr, info.is_store, 0)
+        return consumed
+
+    def skim(self, source, count: int) -> int:
+        """Consume up to ``count`` instructions warming only the branch
+        predictor (its global history must stay continuous and it is
+        cheap to train).  Used far ahead of the next window, where
+        cache/def-use warming would be overwritten before it is sampled
+        — the engine switches to :meth:`fast_forward` for the warming
+        zone directly preceding each window.
+        """
+        take = source.take
+        branch_unit = self.branch_unit
+        consumed = 0
+        for _ in range(count):
+            dyn = take()
+            if dyn is None:
+                break
+            if dyn.info.is_branch:
+                branch_unit.observe(dyn)
+            consumed += 1
+        if consumed and self.track:
+            # def-use records refer to values the skim skipped over
+            self.live.clear()
+        return consumed
+
+    def observe(self, dyn: DynInst) -> None:
+        """Warm the predictors with one architecturally executed inst."""
+        info = dyn.info
+        pc = dyn.pc
+        if info.is_branch:
+            self.branch_unit.observe(dyn)
+        hierarchy = self.hierarchy
+        if hierarchy is not None:
+            line = pc // self._line_bytes
+            if line != self._last_fetch_line:
+                self._last_fetch_line = line
+                hierarchy.inst_fetch(pc, False, 0)
+            if dyn.mem_addr is not None and (info.is_load or info.is_store):
+                hierarchy.data_access(pc, dyn.mem_addr, info.is_store, 0)
+        if not self.track:
+            return
+        live = self.live
+        predictor = self.predictor
+        single_use = self.single_use
+
+        # ---- sources: consumer counting + stale-value repairs -------------
+        first_use: list[tuple] = []  # (RegRef, _LiveValue)
+        seen: list = []
+        for src in dyn.srcs:
+            if src in seen:  # same operand twice (e.g. ADD r1, r1, r1)
+                continue
+            seen.append(src)
+            rec = live.get(src)
+            if rec is None:
+                continue
+            if rec.stale:
+                # single-use misprediction: a predicted reuse took this
+                # value's register, yet here is another consumer — repair
+                # (train the reuser down, reset the allocating entry) and
+                # model the evacuation as a fresh allocation
+                single_use.train_bad(rec.reused_by_pc)
+                predictor.on_extra_use(rec.alloc_index)
+                bank, index = predictor.predict(pc)
+                rec.alloc_index = index
+                rec.bank = bank
+                rec.version = 0
+                rec.stale = False
+                rec.multi_use = False
+            rec.uses += 1
+            if rec.uses == 1:
+                rec.first_pc = pc
+                first_use.append((src, rec))
+            elif rec.uses == 2 and not rec.multi_use:
+                rec.multi_use = True
+                if rec.bank > 0:
+                    # predicted single-use, observed multi-consumer: reset
+                    predictor.on_extra_use(rec.alloc_index)
+
+        # ---- destination: reuse-chain / allocation modelling ---------------
+        dest = dyn.dest
+        if dest is None:
+            return
+        old = live.get(dest)
+        reused = False
+
+        # guaranteed reuse: the instruction redefines a register whose
+        # value it just consumed first (src == dest)
+        if old is not None and not old.stale \
+                and any(ref == dest for ref, _rec in first_use):
+            if old.version >= self.max_version:
+                pass  # chain counter saturated: lost reuse, no training
+            elif old.version >= old.bank:
+                predictor.on_shadow_starvation(old.alloc_index)
+            else:
+                old.version += 1
+                old.uses = 0
+                old.first_pc = None
+                old.multi_use = False
+                reused = True
+
+        # predicted reuse: first consumer of another value, predicted to be
+        # the only consumer — the value's register hosts the new value
+        if not reused:
+            for ref, rec in first_use:
+                if ref == dest or ref.cls is not dest.cls or rec.uses != 1:
+                    continue
+                if not single_use.predict(pc):
+                    continue
+                if rec.version >= self.max_version:
+                    continue
+                if rec.version >= rec.bank:
+                    predictor.on_shadow_starvation(rec.alloc_index)
+                    continue
+                fresh = _LiveValue(rec.alloc_index, rec.bank, rec.version + 1)
+                rec.stale = True
+                rec.reused_by_pc = pc
+                live[dest] = fresh
+                reused = True
+                break
+
+        if not reused:
+            bank, index = predictor.predict(pc)
+            live[dest] = _LiveValue(index, bank)
+
+        if old is not None and live[dest] is not old:
+            self._close(old)
+
+    def _close(self, rec: _LiveValue) -> None:
+        """The value died (redefined): release-time predictor training."""
+        if rec.stale:
+            return  # register lives on under the reusing value's record
+        if rec.uses == 1 and rec.first_pc is not None and not rec.multi_use:
+            # confirmed single-use value that was not reused
+            self.single_use.train_good(rec.first_pc, was_denied=True)
+        self.predictor.on_release(
+            alloc_index=rec.alloc_index,
+            predicted_bank=rec.bank,
+            actual_reuses=rec.version,
+            extra_use=False,
+            lost_reuse=0,
+        )

@@ -34,6 +34,14 @@ def _encode(dyn: DynInst) -> dict:
         record["srcs"] = [str(s) for s in dyn.srcs]
     if dyn.src_values:
         record["src_values"] = list(dyn.src_values)
+    # oracle liveness hints (consumed by the hinted renamer): without
+    # them a round-tripped trace would silently degrade `hinted` runs
+    if dyn.hint_dest_single_use:
+        record["h_dest"] = True
+    if any(dyn.hint_src_single_use):
+        record["h_srcs"] = [1 if h else 0 for h in dyn.hint_src_single_use]
+    if dyn.hint_reuse_depth:
+        record["h_depth"] = dyn.hint_reuse_depth
     return record
 
 
@@ -54,6 +62,10 @@ def _decode(record: dict) -> DynInst:
     dyn.result = record.get("result")
     dyn.src_values = tuple(record.get("src_values", ()))
     dyn.faults = record.get("faults", False)
+    dyn.hint_dest_single_use = record.get("h_dest", False)
+    if "h_srcs" in record:
+        dyn.hint_src_single_use = tuple(bool(h) for h in record["h_srcs"])
+    dyn.hint_reuse_depth = record.get("h_depth", 0)
     return dyn
 
 

@@ -1,0 +1,26 @@
+"""Suite-wide isolation: keep the on-disk trace cache out of ``$HOME``.
+
+Sweep execution now resolves workloads through the pregenerated-trace
+cache (:func:`repro.harness.cache.cached_stream`); pointing it at a
+throwaway directory keeps test runs hermetic and repeatable.  Tests that
+probe cache behaviour override ``REPRO_TRACE_DIR`` themselves via
+monkeypatch, which takes precedence over this default.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_trace_cache():
+    if os.environ.get("REPRO_TRACE_DIR"):
+        yield
+        return
+    with tempfile.TemporaryDirectory(prefix="repro-traces-") as tmp:
+        os.environ["REPRO_TRACE_DIR"] = tmp
+        try:
+            yield
+        finally:
+            os.environ.pop("REPRO_TRACE_DIR", None)

@@ -1,0 +1,114 @@
+"""Tests for the on-disk pregenerated-trace cache (repro.harness.cache)."""
+
+from collections import OrderedDict
+
+import pytest
+
+import repro.harness.cache as cache_mod
+from repro.harness.cache import TraceCache, TraceStream, cached_stream
+from repro.harness.runner import make_config
+from repro.pipeline.processor import simulate
+from repro.workloads.generator import SyntheticWorkload, shared_workload
+from repro.workloads.profiles import BENCHMARKS
+
+PROFILE = BENCHMARKS["gsm"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo(monkeypatch):
+    """Each test sees an empty process-local memo, so hits/misses observed
+    on the TraceCache reflect the on-disk behaviour under test."""
+    monkeypatch.setattr(cache_mod, "_TRACE_MEMO", OrderedDict())
+
+
+def test_cold_generates_warm_hits(tmp_path):
+    cache = TraceCache(tmp_path, fingerprint="fp")
+    stream = cached_stream(PROFILE, 500, seed=1, cache=cache)
+    assert isinstance(stream, TraceStream)
+    assert cache.misses == 1 and cache.hits == 0
+    assert len(cache) == 1
+
+    cache_mod._TRACE_MEMO.clear()
+    warm = cached_stream(PROFILE, 500, seed=1, cache=cache)
+    assert cache.hits == 1
+    assert [d.pc for d in warm] == [d.pc for d in stream]
+
+
+def test_distinct_inputs_distinct_entries(tmp_path):
+    cache = TraceCache(tmp_path, fingerprint="fp")
+    assert cache.key_for(PROFILE, 500, 1) != cache.key_for(PROFILE, 500, 2)
+    assert cache.key_for(PROFILE, 500, 1) != cache.key_for(PROFILE, 600, 1)
+    assert cache.key_for(PROFILE, 500, 1) != \
+        cache.key_for(BENCHMARKS["adpcm"], 500, 1)
+    # a changed generator fingerprint (stale trace format) never matches
+    stale = TraceCache(tmp_path, fingerprint="other")
+    assert stale.key_for(PROFILE, 500, 1) != cache.key_for(PROFILE, 500, 1)
+
+
+def test_stream_yields_fresh_objects_each_pass(tmp_path):
+    cache = TraceCache(tmp_path, fingerprint="fp")
+    stream = cached_stream(PROFILE, 300, seed=1, cache=cache)
+    first = list(stream)
+    second = list(stream)
+    assert [d.seq for d in first] == [d.seq for d in second]
+    # the pipeline mutates DynInsts in place: passes must not share them
+    assert all(a is not b for a, b in zip(first, second))
+
+
+def test_roundtrip_simulation_is_bit_identical(tmp_path):
+    cache = TraceCache(tmp_path, fingerprint="fp")
+    config = make_config(PROFILE, "sharing", 48)
+    via_trace = simulate(
+        config, iter(cached_stream(PROFILE, 2000, seed=1, cache=cache)))
+    via_generator = simulate(
+        config, iter(SyntheticWorkload(PROFILE, total_insts=2000, seed=1)))
+    assert via_trace.to_dict() == via_generator.to_dict()
+
+
+def test_corrupt_entry_is_a_miss_and_removed(tmp_path):
+    cache = TraceCache(tmp_path, fingerprint="fp")
+    key = cache.key_for(PROFILE, 400, 1)
+    cached_stream(PROFILE, 400, seed=1, cache=cache)
+    path = cache._path(key)
+    assert path.is_file()
+
+    path.write_bytes(b"not gzip at all")
+    assert cache.get_text(key) is None
+    assert not path.exists()  # corrupt entry evicted
+
+    # regenerating repopulates the entry transparently
+    cache_mod._TRACE_MEMO.clear()
+    stream = cached_stream(PROFILE, 400, seed=1, cache=cache)
+    assert path.is_file()
+    assert sum(1 for _ in stream) == 400
+
+
+def test_truncated_body_is_a_miss(tmp_path):
+    cache = TraceCache(tmp_path, fingerprint="fp")
+    key = cache.key_for(PROFILE, 100, 1)
+    cached_stream(PROFILE, 100, seed=1, cache=cache)
+    text = cache.get_text(key)
+    assert text is not None
+
+    # header claims more lines than the body carries -> stale/truncated
+    half = "".join(text.splitlines(keepends=True)[:50])
+    cache.put_text(key, half, count=100)
+    assert cache.get_text(key) is None
+    assert not cache._path(key).exists()
+
+
+def test_env_kill_switch_bypasses_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_NO_TRACE_CACHE", "1")
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+    stream = cached_stream(PROFILE, 200, seed=1)
+    assert not isinstance(stream, TraceStream)
+    assert stream is shared_workload(PROFILE, 200, 1, 50)
+    assert len(TraceCache(tmp_path)) == 0
+
+
+def test_memo_serves_repeat_lookups_without_disk(tmp_path):
+    cache = TraceCache(tmp_path, fingerprint="fp")
+    cached_stream(PROFILE, 250, seed=1, cache=cache)
+    # second lookup in the same process: memo hit, no new cache traffic
+    cached_stream(PROFILE, 250, seed=1, cache=cache)
+    assert cache.hits + cache.misses == 1

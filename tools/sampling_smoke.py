@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI smoke test for the interval-sampling engine + trace cache.
+
+Runs a tiny sampled sweep twice against throwaway cache directories and
+asserts that
+
+* every point returns a SampledStats estimate with populated confidence
+  intervals (windows, per-window IPC samples, nonzero stderr),
+* sampled results are deterministic: the warm run is served entirely
+  from the result cache and reproduces the cold run bit-for-bit,
+* sampled and exact executions of the same grid never share cache keys,
+* the pregenerated-trace cache engaged (cold workers decoded traces
+  from disk rather than re-running the generator).
+
+Writes a JSON artifact (point labels, IPC estimates, CI widths, cache
+counters) for CI upload; exits non-zero with a diagnostic on violation.
+"""
+
+import json
+import os
+import pathlib
+import sys
+import tempfile
+
+try:
+    import repro  # noqa: F401  (installed package)
+except ImportError:  # fall back to a source checkout
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+SPEC = "1000:150:80"
+
+
+def build_points(sampling):
+    from repro.harness.parallel import SweepPoint
+    from repro.workloads.profiles import BENCHMARKS
+
+    return [SweepPoint(profile=BENCHMARKS[name], scheme=scheme, size=48,
+                       insts=4_000, seed=1, sampling=sampling)
+            for name in ("gsm", "adpcm")
+            for scheme in ("conventional", "sharing")]
+
+
+def main() -> int:
+    out_path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                            else "sampling-smoke.json")
+
+    with tempfile.TemporaryDirectory(prefix="repro-sampling-smoke-") as tmp:
+        os.environ["REPRO_TRACE_DIR"] = str(pathlib.Path(tmp) / "traces")
+        from repro.harness.cache import ResultCache, TraceCache
+        from repro.harness.parallel import run_points
+        from repro.pipeline.stats import SampledStats
+
+        points = build_points(SPEC)
+
+        cold_cache = ResultCache(pathlib.Path(tmp) / "results")
+        cold = run_points(points, jobs=1, cache=cold_cache)
+        if cold_cache.hits != 0 or cold_cache.misses != len(points):
+            print(f"FAIL: cold run expected 0 hits / {len(points)} misses, "
+                  f"got {cold_cache.hits} / {cold_cache.misses}")
+            return 1
+
+        for result in cold:
+            stats = result.stats
+            if not result.ok or not isinstance(stats, SampledStats):
+                print(f"FAIL: {result.point.label()}: not a sampled result "
+                      f"({result.error})")
+                return 1
+            if stats.windows < 2 or len(stats.window_ipc) != stats.windows:
+                print(f"FAIL: {result.point.label()}: degenerate window set "
+                      f"({stats.windows} windows)")
+                return 1
+            if not (stats.ipc > 0.0 and stats.ci95("ipc") > 0.0):
+                print(f"FAIL: {result.point.label()}: empty CI "
+                      f"(ipc={stats.ipc}, ci95={stats.ci95('ipc')})")
+                return 1
+
+        warm_cache = ResultCache(pathlib.Path(tmp) / "results")
+        warm = run_points(points, jobs=1, cache=warm_cache)
+        if warm_cache.hits != len(points) or warm_cache.misses != 0:
+            print(f"FAIL: warm run expected {len(points)} hits / 0 misses, "
+                  f"got {warm_cache.hits} / {warm_cache.misses}")
+            return 1
+        for c, w in zip(cold, warm):
+            if c.stats.to_dict() != w.stats.to_dict():
+                print(f"FAIL: {c.point.label()}: cached result diverges")
+                return 1
+
+        # sampled and exact runs of the same grid must never collide
+        keys = ResultCache(pathlib.Path(tmp) / "results")
+        exact_keys = {keys.key_for_point(p) for p in build_points(None)}
+        sampled_keys = {keys.key_for_point(p) for p in points}
+        if exact_keys & sampled_keys:
+            print("FAIL: sampled and exact sweep points share cache keys")
+            return 1
+
+        traces = TraceCache()
+        if len(traces) == 0:
+            print("FAIL: trace cache never populated — workers re-ran "
+                  "the generator")
+            return 1
+
+        artifact = {
+            "spec": SPEC,
+            "points": [
+                {"label": r.point.label(),
+                 "ipc": round(r.stats.ipc, 4),
+                 "ipc_ci95": round(r.stats.ci95("ipc"), 4),
+                 "reuse_ci95": round(r.stats.ci95("reuse_rate"), 4),
+                 "windows": r.stats.windows,
+                 "detail_fraction": round(r.stats.detail_fraction, 4)}
+                for r in cold
+            ],
+            "result_cache": {"cold_misses": cold_cache.misses,
+                             "warm_hits": warm_cache.hits},
+            "trace_cache_entries": len(traces),
+        }
+    out_path.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"sampling smoke OK: {len(points)} sampled points, warm run served "
+          f"{warm_cache.hits}/{len(points)} from cache, CIs populated, "
+          f"{artifact['trace_cache_entries']} trace(s) cached; "
+          f"artifact at {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
