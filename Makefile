@@ -4,8 +4,8 @@ PYTHON ?= python
 JOBS ?= 4
 
 .PHONY: install test bench bench-parallel bench-full bench-floor repro \
-	examples cache-smoke sampling-smoke verify fuzz fuzz-smoke golden \
-	lint-goldens clean
+	examples cache-smoke sampling-smoke verify fuzz fuzz-smoke \
+	faults-smoke faults golden lint-goldens clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -43,6 +43,17 @@ FUZZ_COUNT ?= 250
 FUZZ_SEED ?= 0
 fuzz:
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --count $(FUZZ_COUNT) --seed $(FUZZ_SEED)
+
+# fault-injection gate: 200 seeded injections fully classified with zero
+# silent corruption, plus the SIGKILL-and-resume sweep-journal check
+faults-smoke:
+	$(PYTHON) tools/faults_smoke.py
+
+# longer local fault campaign (FAULT_COUNT and FAULT_SEED are overridable)
+FAULT_COUNT ?= 1000
+FAULT_SEED ?= 0
+faults:
+	PYTHONPATH=src $(PYTHON) -m repro faults --injections $(FAULT_COUNT) --seed $(FAULT_SEED)
 
 repro:
 	$(PYTHON) examples/reproduce_paper.py

@@ -13,6 +13,7 @@ Usage::
     python -m repro verify [--scheme sharing | --all-schemes] [--faults ...]
     python -m repro fuzz [--count 25] [--seed 0] [--out DIR]
     python -m repro fuzz --replay REPRODUCER.json
+    python -m repro faults [--injections 200] [--seed 0] [--out REPORT.json]
 
 ``run`` executes an assembly file through the timing pipeline; ``bench``
 runs one synthetic benchmark profile — or, with no name, the cycle-loop
@@ -32,7 +33,19 @@ schemes and shrinks failures to on-disk reproducers.
 sweep engine: ``--jobs N`` (default: ``REPRO_JOBS`` env, else 1) fans the
 points out over N worker processes, and results are served from the
 persistent result cache (``REPRO_CACHE_DIR``, default
-``~/.cache/repro/sweeps``) unless ``--no-cache`` is given.
+``~/.cache/repro/sweeps``) unless ``--no-cache`` is given.  The engine is
+resilient on demand: ``--timeout`` bounds each point's wall clock (the
+straggler's worker is killed and the point requeued), ``--retries``
+grants bounded re-execution with exponential backoff, and
+``--journal PATH`` / ``--resume`` record completed points crash-safely so
+an interrupted sweep picks up where it stopped (docs/RESILIENCE.md).
+
+``faults`` runs the seeded fault-injection campaign
+(:mod:`repro.faults`): transient PRF bit flips, PRT metadata corruption,
+forced squash storms and interrupt floods, each classified against the
+differential oracle as masked / detected / recovered — a nonzero exit
+means an injection produced silent data corruption or an unexpected
+outcome.
 
 Timing simulations accept ``--sampling PERIOD:WINDOW:WARMUP`` to run
 interval-sampled (functional fast-forward between detailed measurement
@@ -104,6 +117,25 @@ def _sweep_args(parser: argparse.ArgumentParser) -> None:
                              "(default: REPRO_JOBS env, else 1)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent result cache")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-point wall-clock budget; a straggler's "
+                             "worker is killed and the point requeued")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-execution attempts per point after a "
+                             "crash, worker death or timeout (default 0)")
+    parser.add_argument("--retry-delay", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="base backoff between retry attempts "
+                             "(exponential with jitter; default 0.25)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="record every completed point in a crash-safe "
+                             "journal at PATH; re-running with the same "
+                             "journal resumes after an interruption")
+    parser.add_argument("--resume", action="store_true",
+                        help="shorthand for --journal at the default "
+                             "location (REPRO_JOURNAL_DIR, else "
+                             "~/.cache/repro/journals/<command>.jsonl)")
 
 
 def _config(args) -> MachineConfig:
@@ -286,6 +318,38 @@ def _sweep_cache(args):
     return ResultCache()
 
 
+def _sweep_journal(args, command: str):
+    """SweepJournal from --journal/--resume, or None."""
+    path = getattr(args, "journal", None)
+    if path is None and getattr(args, "resume", False):
+        from repro.harness.cache import default_journal_dir
+
+        path = default_journal_dir() / f"{command}.jsonl"
+    if path is None:
+        return None
+    from repro.harness.parallel import SweepJournal
+
+    journal = SweepJournal(path)
+    if len(journal):
+        print(f"resuming from journal {journal.path} "
+              f"({len(journal)} completed point(s))", file=sys.stderr)
+    return journal
+
+
+def _sweep_engine(args, command: str) -> dict:
+    """Keyword arguments for run_points / the figure helpers, resolved
+    from the shared --jobs/--no-cache/--timeout/--retries/--journal
+    options."""
+    return {
+        "jobs": args.jobs,
+        "cache": _sweep_cache(args),
+        "timeout": getattr(args, "timeout", None),
+        "retries": getattr(args, "retries", 0),
+        "retry_delay": getattr(args, "retry_delay", 0.25),
+        "journal": _sweep_journal(args, command),
+    }
+
+
 def cmd_compare(args) -> int:
     from repro.harness.parallel import SweepPoint, collect_stats, run_points
 
@@ -298,8 +362,9 @@ def cmd_compare(args) -> int:
     points = [SweepPoint(profile=profile, scheme=scheme, size=size,
                          insts=args.insts, seed=args.seed, sampling=sampling)
               for size in sizes for scheme in ("conventional", "sharing")]
-    cache = _sweep_cache(args)
-    stats = collect_stats(run_points(points, jobs=args.jobs, cache=cache))
+    engine = _sweep_engine(args, "compare")
+    cache = engine["cache"]
+    stats = collect_stats(run_points(points, **engine))
     suffix = f", sampled [{sampling}]" if sampling else ""
     print(f"{args.name} ({profile.suite}), {args.insts} instructions{suffix}")
     print(f"{'RF size':>8s} {'baseline':>9s} {'proposed':>9s} {'speedup':>8s}")
@@ -328,8 +393,8 @@ def cmd_figures(args) -> int:
     # --exact/--sampling override whatever REPRO_SAMPLING put in the Scale
     scale = replace(Scale.from_env(), sampling=_resolve_sampling(args))
     wanted = set(args.which) or {"all"}
-    cache = _sweep_cache(args)
-    engine = {"jobs": args.jobs, "cache": cache}
+    engine = _sweep_engine(args, "figures")
+    cache = engine["cache"]
 
     def want(key):
         return "all" in wanted or key in wanted
@@ -452,6 +517,36 @@ def cmd_fuzz(args) -> int:
     print(f"fuzz campaign clean: {args.count} programs, "
           f"schemes {', '.join(schemes)}")
     return 0
+
+
+def cmd_faults(args) -> int:
+    """Seeded fault-injection campaign across the rename schemes."""
+    from repro.faults import run_campaign
+
+    schemes = tuple(args.schemes.split(",")) if args.schemes else None
+    overrides = {"injections": args.injections, "seed": args.seed,
+                 "shrink": not args.no_shrink}
+    if schemes:
+        overrides["schemes"] = schemes
+
+    def progress(record):
+        if args.verbose:
+            print(f"[{record.index + 1}/{args.injections}] "
+                  f"{record.spec.kind:<16} {record.spec.scheme:<12} "
+                  f"-> {record.outcome}"
+                  + ("" if record.expected else "  UNEXPECTED"))
+
+    try:
+        report = run_campaign(progress=progress, **overrides)
+    except ValueError as exc:  # e.g. an unknown scheme name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in report.summary_lines():
+        print(line)
+    if args.out:
+        report.save(args.out)
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 0 if report.clean else 1
 
 
 def cmd_motivation(args) -> int:
@@ -585,6 +680,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--replay", default=None, metavar="FILE",
                         help="replay one reproducer instead of fuzzing")
     p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_faults = sub.add_parser(
+        "faults", help="seeded fault-injection campaign (bit flips, PRT "
+        "corruption, squash storms, interrupt floods) with oracle-checked "
+        "outcome classification")
+    p_faults.add_argument("--injections", type=int, default=200,
+                          help="number of injections to draw (default 200)")
+    p_faults.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (default 0)")
+    p_faults.add_argument("--schemes", default=None,
+                          help="comma-separated scheme subset "
+                               "(default: conventional,sharing,early)")
+    p_faults.add_argument("--out", default=None, metavar="PATH",
+                          help="write the JSON campaign report to PATH")
+    p_faults.add_argument("--no-shrink", action="store_true",
+                          help="skip ddmin shrinking of unexpected outcomes")
+    p_faults.add_argument("--verbose", action="store_true",
+                          help="print every injection as it classifies")
+    p_faults.set_defaults(fn=cmd_faults)
 
     p_mot = sub.add_parser("motivation", help="Figures 1-3 stats for a benchmark")
     p_mot.add_argument("name")

@@ -153,3 +153,22 @@ class ConventionalRenamer(BaseRenamer):
 
     def free_registers(self, cls: RegClass) -> int:
         return len(self.domains[cls].free)
+
+    # ------------------------------------------------------------------ fault injection
+    def fault_targets(self) -> dict[str, list[Tag]]:
+        """See :meth:`BaseRenamer.fault_targets`.
+
+        The merged register file has no shadow cells: every stored value on
+        an allocated register is potentially readable (by the maps or an
+        in-flight consumer tag), so it classifies as *live*.
+        """
+        targets: dict[str, list[Tag]] = {"live": [], "shadow": [], "free": []}
+        for cls, domain in self.domains.items():
+            free = set(domain.free)
+            for phys, version, _value in domain.rf.cells():
+                kind = "free" if phys in free else "live"
+                targets[kind].append((cls.value, phys, version))
+            for phys in free:
+                if not domain.rf.has(phys, 0):
+                    targets["free"].append((cls.value, phys, 0))
+        return targets

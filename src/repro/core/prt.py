@@ -16,6 +16,7 @@ One entry per physical register holding:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 #: bound on the per-register consumer training log
 LOG_CAP = 16
@@ -98,3 +99,21 @@ class PhysicalRegisterTable:
         entry = self.entries[phys]
         entry.version = version
         entry.read_bit = True
+
+    def corrupt(self, phys: int, *, version: Optional[int] = None,
+                read_bit: Optional[bool] = None) -> tuple[int, bool]:
+        """Fault injection: force the version counter and/or Read bit.
+
+        Bypasses every protocol check (saturation, walk-back ordering) —
+        the point is to model a bit flip in the PRT SRAM itself and let the
+        campaign observe whether the invariant checker / oracle surfaces
+        it, or whether the repair machinery masks it.  Returns the entry's
+        previous ``(version, read_bit)`` for the injection record.
+        """
+        entry = self.entries[phys]
+        previous = (entry.version, entry.read_bit)
+        if version is not None:
+            entry.version = version
+        if read_bit is not None:
+            entry.read_bit = read_bit
+        return previous

@@ -130,3 +130,33 @@ class BankedRegisterFile:
             for phys, versions in self._values.items()
             if phys >= 0 and versions
         }
+
+    # ------------------------------------------------------------ fault injection
+    def cells(self) -> list[tuple[int, int, Value]]:
+        """Every stored (phys, version, value) cell, in deterministic order.
+
+        Fault-injection target enumeration (:mod:`repro.faults`): the list
+        covers main cells and shadow cells alike — classification into
+        live/shadow is the renamer's job, which knows the maps and PRT.
+        Auxiliary (negative-id) repair registers are excluded; they are not
+        architecturally addressable storage.
+        """
+        return sorted(
+            (phys, version, value)
+            for phys, versions in self._values.items() if phys >= 0
+            for version, value in versions.items()
+        )
+
+    def corrupt(self, phys: int, version: int, value: Value) -> None:
+        """Overwrite one storage cell in place, modelling a transient fault.
+
+        Unlike :meth:`write` this bypasses the version-capacity assertion —
+        a particle strike does not consult the allocation protocol — but it
+        only mutates cells that already exist; planting state into unused
+        storage is done with :meth:`write` by the injector for free
+        registers (version 0 always fits).
+        """
+        versions = self._values.get(phys)
+        if versions is None or version not in versions:
+            raise KeyError(f"no stored cell p{phys}.{version} to corrupt")
+        versions[version] = value

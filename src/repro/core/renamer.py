@@ -149,3 +149,27 @@ class BaseRenamer:
     def live_version_histogram(self) -> dict[int, int]:
         """Histogram: versions-live-per-register -> count (Figure 9 sampling)."""
         return {}
+
+    # --- fault injection ------------------------------------------------------
+    def fault_targets(self) -> dict[str, list[Tag]]:
+        """Classified storage cells for the fault-injection campaign.
+
+        Returns ``{"live": [...], "shadow": [...], "free": [...]}`` where
+        each entry is a rename tag:
+
+        * ``live`` — cells a correct execution may still read: referenced
+          by the rename or retirement map, or the current PRT version
+          (an in-flight destination).  Flipping one must be *detected*
+          (operand verify, oracle, or final-state check) unless the value
+          is dead by luck (overwritten/released before any further read).
+        * ``shadow`` — older versions held only in shadow cells, no longer
+          referenced by either map.  With no squash able to roll back to
+          them, flips must be masked; a surviving in-flight consumer tag
+          turns the flip into a detected operand mismatch instead.
+        * ``free`` — registers on the free list (no stored value; version
+          0 placeholder).  The injector plants garbage there; allocation
+          or writeback must overwrite it before any consumer reads.
+
+        Schemes without classified storage return empty lists.
+        """
+        return {"live": [], "shadow": [], "free": []}

@@ -296,9 +296,18 @@ class SharingRenamer(BaseRenamer):
                 if src == dest:
                     self.stats.lost_reuse_not_first_use += 1
                 continue
-            if src != dest and not self._single_use_prediction(dyn, index):
+            if (src != dest and not self._single_use_prediction(dyn, index)
+                    and domain.free._count > 0):
                 # predicted not to be the only consumer: do not speculate
-                # (a lost opportunity if wrong — trained at release)
+                # (a lost opportunity if wrong — trained at release).  With
+                # zero free registers the denial is overridden: rename may
+                # only block when no register is free AND no reuse is
+                # possible (Section IV-A4), and can_rename approved this
+                # instruction under that rule — a repair µop renamed just
+                # above can have both consumed the last free register and
+                # trained this very PC's prediction downward, so honouring
+                # the flipped prediction here would leave the destination
+                # with neither a reuse nor a free register
                 entry.lost_reuse += 1
                 if len(entry.consumers_log) < LOG_CAP:
                     entry.consumers_log.append((dyn.pc, version, "denied_pred"))
@@ -581,3 +590,32 @@ class SharingRenamer(BaseRenamer):
             for _phys, count in domain.rf.live_version_counts().items():
                 histogram[count] = histogram.get(count, 0) + 1
         return histogram
+
+    # ====================================================================== fault injection
+    def fault_targets(self) -> dict[str, list[Tag]]:
+        """See :meth:`BaseRenamer.fault_targets`.
+
+        A stored cell is *live* when either map references its exact
+        (phys, version) or it is the current PRT version (an in-flight
+        destination awaiting commit).  Older stored versions referenced by
+        neither map are *shadow* cells: only an already-renamed in-flight
+        consumer can still read them, so flipping one is masked unless
+        operand verification catches that consumer's read.
+        """
+        targets: dict[str, list[Tag]] = {"live": [], "shadow": [], "free": []}
+        for cls, domain in self.domains.items():
+            mapped = set(domain.map.entries) | set(domain.retire_map.entries)
+            for phys, version, _value in domain.rf.cells():
+                if domain.free.contains(phys):
+                    # released with values still resident (transiently
+                    # possible between release and reallocation drop)
+                    targets["free"].append((cls.value, phys, version))
+                elif ((phys, version) in mapped
+                        or version == domain.prt.entries[phys].version):
+                    targets["live"].append((cls.value, phys, version))
+                else:
+                    targets["shadow"].append((cls.value, phys, version))
+            for phys in range(domain.config.total_regs):
+                if domain.free.contains(phys) and not domain.rf.has(phys, 0):
+                    targets["free"].append((cls.value, phys, 0))
+        return targets

@@ -1,0 +1,39 @@
+"""Architectural fault-injection campaign engine.
+
+Injects targeted adversity into a running :class:`~repro.pipeline.processor.Processor`
+— transient PRF bit flips (live cells, shadow cells, free registers), PRT
+version-counter and Read-bit corruption, forced squash storms, interrupt
+floods — and classifies every injection against the commit-time
+differential oracle and a clean reference run.  See docs/RESILIENCE.md for
+the fault model and the outcome taxonomy.
+"""
+
+from repro.faults.campaign import (
+    EXPECTED_OUTCOMES,
+    CampaignConfig,
+    InjectionRecord,
+    kinds_for,
+    run_campaign,
+    run_injection,
+)
+from repro.faults.injectors import (
+    KINDS,
+    InjectionSpec,
+    flip_value,
+    make_injector,
+)
+from repro.faults.report import CampaignReport
+
+__all__ = [
+    "KINDS",
+    "EXPECTED_OUTCOMES",
+    "CampaignConfig",
+    "CampaignReport",
+    "InjectionRecord",
+    "InjectionSpec",
+    "flip_value",
+    "kinds_for",
+    "make_injector",
+    "run_campaign",
+    "run_injection",
+]

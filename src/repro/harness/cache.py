@@ -58,6 +58,54 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro" / "sweeps"
 
 
+def default_journal_dir() -> Path:
+    """Where ``--resume`` sweep journals live by default."""
+    env = os.environ.get("REPRO_JOURNAL_DIR")
+    if env:
+        return Path(env)
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env) / "journals"
+    return Path.home() / ".cache" / "repro" / "journals"
+
+
+def _unlink_quietly(path: Union[str, os.PathLike]) -> None:
+    """Best-effort unlink: a concurrent writer/reader may already have
+    removed (or be replacing) the entry — never an error."""
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+    except OSError:
+        pass
+
+
+def atomic_write_bytes(path: os.PathLike, data: bytes) -> None:
+    """Crash-safe file publication: temp file + fsync + atomic rename.
+
+    Readers — including a resumed run after SIGKILL — observe either the
+    previous complete contents or the new complete contents, never a torn
+    intermediate.  The fsync orders the data before the rename so a power
+    loss cannot leave a renamed-but-empty file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)  # atomic on POSIX
+    except BaseException:
+        _unlink_quietly(tmp)
+        raise
+
+
+def atomic_write_text(path: os.PathLike, text: str) -> None:
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
 @lru_cache(maxsize=1)
 def code_fingerprint() -> str:
     """Hash of the whole ``repro`` package source.
@@ -140,29 +188,15 @@ class ResultCache:
             return None
         except Exception:
             # corrupted/truncated/wrong-schema entry: a miss, not a crash
+            # (another reader may have unlinked it first — also fine)
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            _unlink_quietly(path)
             return None
         self.hits += 1
         return stats
 
     def put(self, key: str, stats: Union[SimStats, SampledStats]) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(stats.to_dict(), handle)
-            os.replace(tmp, path)  # atomic on POSIX: readers never see partials
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(self._path(key), json.dumps(stats.to_dict()))
 
     # ------------------------------------------------------------------ maintenance
     def _entries(self) -> list[Path]:
@@ -177,10 +211,7 @@ class ResultCache:
         """Remove every entry; returns how many were removed."""
         entries = self._entries()
         for path in entries:
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            _unlink_quietly(path)
         return len(entries)
 
     def prune(self, max_entries: int = 50_000) -> int:
@@ -191,10 +222,7 @@ class ResultCache:
             return 0
         entries.sort(key=lambda path: path.stat().st_mtime)
         for path in entries[:excess]:
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            _unlink_quietly(path)
         return excess
 
 
@@ -283,31 +311,18 @@ class TraceCache:
             return None
         except Exception:
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            _unlink_quietly(path)
             return None
         self.hits += 1
         return body
 
     def put_text(self, key: str, text: str, count: int) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as raw:
-                with gzip.open(raw, "wt", encoding="utf-8") as handle:
-                    handle.write(json.dumps({"count": count}))
-                    handle.write("\n")
-                    handle.write(text)
-            os.replace(tmp, path)  # atomic on POSIX
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        buffer = io.BytesIO()
+        with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as handle:
+            handle.write(json.dumps({"count": count}).encode("utf-8"))
+            handle.write(b"\n")
+            handle.write(text.encode("utf-8"))
+        atomic_write_bytes(self._path(key), buffer.getvalue())
 
     def _entries(self) -> list[Path]:
         if not self.root.is_dir():
@@ -320,10 +335,7 @@ class TraceCache:
     def clear(self) -> int:
         entries = self._entries()
         for path in entries:
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            _unlink_quietly(path)
         return len(entries)
 
 

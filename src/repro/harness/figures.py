@@ -218,11 +218,11 @@ class Figure10Result:
 
 def figure10(suite: str, scale: Scale | None = None, *,
              jobs: int | None = None, cache=None,
-             progress=None) -> Figure10Result:
+             progress=None, **engine) -> Figure10Result:
     scale = scale or Scale.from_env()
     profiles = _suite_profiles(scale, suite)
     rows = sweep_speedups(profiles, scale, jobs=jobs, cache=cache,
-                          progress=progress)
+                          progress=progress, **engine)
     return Figure10Result(suite=suite, sizes=scale.sizes, rows=rows)
 
 
@@ -260,7 +260,7 @@ class Figure11Result:
 
 
 def figure11(scale: Scale | None = None, *, jobs: int | None = None,
-             cache=None, progress=None) -> Figure11Result:
+             cache=None, progress=None, **engine) -> Figure11Result:
     scale = scale or Scale.from_env()
     profiles = scale.profiles("specint") + scale.profiles("specfp")
     points = [
@@ -272,7 +272,8 @@ def figure11(scale: Scale | None = None, *, jobs: int | None = None,
         for scheme in ("conventional", "sharing")
     ]
     stats = collect_stats(
-        run_points(points, jobs=jobs, cache=cache, progress=progress))
+        run_points(points, jobs=jobs, cache=cache, progress=progress,
+                   **engine))
     result = Figure11Result(sizes=scale.sizes)
     for size in scale.sizes:
         base = [stats[(p.name, "conventional", size, scale.seed)].ipc
@@ -305,7 +306,7 @@ class Figure12Result:
 
 def figure12(scale: Scale | None = None, size: int = 64, *,
              jobs: int | None = None, cache=None,
-             progress=None) -> Figure12Result:
+             progress=None, **engine) -> Figure12Result:
     scale = scale or Scale.from_env()
     result = Figure12Result()
     all_profiles = [profile for suite in ("specint", "specfp")
@@ -315,7 +316,8 @@ def figure12(scale: Scale | None = None, size: int = 64, *,
                          sampling=scale.sampling)
               for profile in all_profiles]
     by_key = collect_stats(
-        run_points(points, jobs=jobs, cache=cache, progress=progress))
+        run_points(points, jobs=jobs, cache=cache, progress=progress,
+                   **engine))
     for suite in ("specint", "specfp"):
         totals = {"reuse correct": 0, "reuse incorrect": 0,
                   "no reuse correct": 0, "no reuse incorrect": 0,

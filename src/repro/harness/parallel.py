@@ -1,27 +1,49 @@
-"""Parallel sweep execution engine.
+"""Parallel sweep execution engine with fault-tolerant workers.
 
 Every paper figure is a grid of fully independent simulations.  This
 module turns that grid into data: a sweep is a list of
 :class:`SweepPoint` values (benchmark profile x scheme x register-file
 size x instruction count x seed) which :func:`run_points` executes —
-serially for ``jobs=1``, or fanned out over a
-:class:`~concurrent.futures.ProcessPoolExecutor` with chunked submission
-otherwise.  Results cross the process boundary as plain
-:meth:`~repro.pipeline.stats.SimStats.to_dict` dicts (cheap to pickle),
-a crashed simulation is captured as a per-point error instead of killing
-the sweep, and an optional :class:`~repro.harness.cache.ResultCache`
-serves previously computed points without re-simulating.
+serially for ``jobs=1``, over a
+:class:`~concurrent.futures.ProcessPoolExecutor` for the plain parallel
+case, or (when per-point ``timeout``/``retries`` are requested) over a
+self-healing worker fleet that kills and requeues stragglers, retries
+crashed points with exponential backoff, and respawns dead workers.
+Results cross the process boundary as plain
+:meth:`~repro.pipeline.stats.SimStats.to_dict` dicts (cheap to pickle); a
+crashed simulation is captured as a per-point error — with its full
+worker-side traceback — instead of killing the sweep.
+
+Three layers of persistence/recovery:
+
+* an optional :class:`~repro.harness.cache.ResultCache` serves previously
+  computed points without re-simulating;
+* an optional :class:`SweepJournal` records every completed point with an
+  atomic whole-file replace, so a sweep killed mid-flight (SIGKILL, OOM,
+  power) resumes exactly where it stopped — only incomplete points are
+  re-simulated;
+* a :class:`~concurrent.futures.process.BrokenProcessPool` (a worker
+  taken out by the OOM killer hard enough to poison the pool) rebuilds
+  the pool and requeues the in-flight points, degrading to serial
+  execution after ``POOL_FAILURE_LIMIT`` consecutive failures.
 
 Determinism: a point's result does not depend on how it was executed —
-``jobs=1``, ``jobs=N`` and the cached path all reproduce bit-identical
-counters, which the tests assert.
+``jobs=1``, ``jobs=N``, the fleet, the cached and the journaled path all
+reproduce bit-identical counters, which the tests assert.  Retries and
+backoff jitter only affect *when* a point runs, never its result.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+import random
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Optional
 
 from repro.pipeline.stats import SimStats, stats_from_dict
@@ -29,6 +51,9 @@ from repro.workloads.profiles import WorkloadProfile
 
 #: environment default for ``jobs`` when the caller passes None
 JOBS_ENV = "REPRO_JOBS"
+
+#: consecutive BrokenProcessPool failures before degrading to jobs=1
+POOL_FAILURE_LIMIT = 3
 
 
 @dataclass(frozen=True)
@@ -62,6 +87,11 @@ class PointResult:
     stats: Optional[SimStats] = None
     error: Optional[str] = None
     cached: bool = False
+    #: served from a :class:`SweepJournal` (a resumed sweep)
+    journaled: bool = False
+    #: execution attempts this result took (1 = first try; 0 = not run,
+    #: i.e. cache/journal hit)
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -69,12 +99,16 @@ class PointResult:
 
 
 class SweepError(RuntimeError):
-    """One or more sweep points failed; carries every per-point error."""
+    """One or more sweep points failed; carries every per-point error
+    (including the worker-side traceback captured at the failure site)."""
 
     def __init__(self, failures: list[PointResult]) -> None:
         self.failures = failures
-        lines = [f"  {result.point.label()}: {result.error}"
-                 for result in failures]
+        lines = []
+        for result in failures:
+            error = result.error or ""
+            indented = "\n    ".join(error.rstrip().splitlines())
+            lines.append(f"  {result.point.label()}:\n    {indented}")
         super().__init__(
             f"{len(failures)} sweep point(s) failed:\n" + "\n".join(lines))
 
@@ -114,27 +148,161 @@ def simulate_point(point: SweepPoint):
     return simulate(config, iter(workload))
 
 
+#: the function workers run for each point — a module-level indirection so
+#: tests can substitute a controllable runner (fork-started children
+#: inherit the patched value)
+_POINT_RUNNER: Callable = simulate_point
+
+
 def _worker(payload: tuple[int, SweepPoint]) -> tuple[int, Optional[dict], Optional[str]]:
-    """Process-pool entry point: never raises, ships results as dicts."""
+    """Process-pool entry point: never raises, ships results as dicts.
+
+    Failures carry the full traceback, not just ``repr(exc)`` — a sweep
+    failure must be debuggable from the parent process alone, without
+    re-running the point under a debugger.
+    """
     index, point = payload
     try:
-        return index, simulate_point(point).to_dict(), None
+        return index, _POINT_RUNNER(point).to_dict(), None
     except Exception as exc:
-        return index, None, f"{type(exc).__name__}: {exc}"
+        return index, None, (f"{type(exc).__name__}: {exc}\n"
+                             f"{traceback.format_exc()}")
 
 
+def _backoff(base: float, attempt: int, salt: int) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    Jitter decorrelates retry bursts across points without introducing
+    nondeterminism into tests: the jitter is a pure function of
+    (point index, attempt).
+    """
+    if base <= 0:
+        return 0.0
+    jitter = random.Random((salt << 8) | attempt).uniform(0.0, base / 2)
+    return base * (2 ** (attempt - 1)) + jitter
+
+
+# ------------------------------------------------------------------ journal
+def _key_for_point(point: SweepPoint, fingerprint: Optional[str]) -> str:
+    from repro.harness.cache import point_key
+    from repro.harness.runner import make_config  # avoid import cycle
+
+    config = make_config(point.profile, point.scheme, point.size)
+    return point_key(config, point.profile, point.insts, point.seed,
+                     fingerprint, sampling=point.sampling)
+
+
+class SweepJournal:
+    """Crash-safe record of completed sweep points (``--resume`` support).
+
+    A JSON-lines file: one ``{"key", "label", "stats"}`` object per
+    completed point.  Every update rewrites the file through an atomic
+    temp-file + rename (:func:`~repro.harness.cache.atomic_write_text`),
+    so a reader — including the resuming run after a SIGKILL — never sees
+    a torn file; corrupt or alien lines are skipped on load (counted in
+    ``skipped_lines``), never fatal.
+
+    Keys are the result-cache point keys, which fold in the simulator
+    code fingerprint: a journal written by a stale checkout silently
+    serves nothing, rather than resuming with wrong numbers.
+    """
+
+    def __init__(self, path: os.PathLike,
+                 fingerprint: Optional[str] = None) -> None:
+        from repro.harness.cache import code_fingerprint
+
+        self.path = Path(path)
+        self.fingerprint = (fingerprint if fingerprint is not None
+                            else code_fingerprint())
+        self._entries: dict[str, dict] = {}
+        self.skipped_lines = 0
+        self._load()
+
+    # ------------------------------------------------------------------ io
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+                key = raw["key"]
+                if not isinstance(raw["stats"], dict):
+                    raise TypeError("stats must be a dict")
+            except Exception:
+                self.skipped_lines += 1
+                continue
+            self._entries[key] = raw
+
+    def _flush(self) -> None:
+        from repro.harness.cache import atomic_write_text
+
+        body = "".join(json.dumps(entry, sort_keys=True) + "\n"
+                       for entry in self._entries.values())
+        atomic_write_text(self.path, body)
+
+    # ------------------------------------------------------------------ access
+    def key_for_point(self, point: SweepPoint) -> str:
+        return _key_for_point(point, self.fingerprint)
+
+    def get(self, key: str) -> Optional[SimStats]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        try:
+            return stats_from_dict(entry["stats"])
+        except Exception:
+            # schema drift in an old journal: a miss, not a crash
+            del self._entries[key]
+            return None
+
+    def record(self, point: SweepPoint, stats) -> None:
+        key = self.key_for_point(point)
+        self._entries[key] = {"key": key, "label": point.label(),
+                              "stats": stats.to_dict()}
+        self._flush()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+# ------------------------------------------------------------------ execution
 def run_points(
     points: Iterable[SweepPoint],
     jobs: Optional[int] = None,
     cache=None,
     progress: Optional[Callable[[int, int, PointResult], None]] = None,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    retry_delay: float = 0.25,
+    journal: Optional[SweepJournal] = None,
 ) -> list[PointResult]:
     """Execute a sweep; returns one :class:`PointResult` per point, in order.
 
     ``cache`` is a :class:`~repro.harness.cache.ResultCache` (or None);
     cached points are served without simulating and fresh results are
-    written back.  ``progress(done, total, result)`` fires once per
-    resolved point.
+    written back.  ``journal`` is a :class:`SweepJournal` (or None):
+    points it already holds are served from it, and every fresh success
+    is recorded — kill the process at any moment and a rerun with the
+    same journal resumes from the last completed point.
+    ``progress(done, total, result)`` fires once per resolved point.
+
+    Resilience knobs (all off by default):
+
+    * ``timeout`` — per-point wall-clock seconds; a straggler's worker is
+      killed and the point requeued (consuming a retry) until ``retries``
+      is exhausted, then reported as a per-point failure.
+    * ``retries`` — re-executions granted per point after a crash, a
+      worker death, or a timeout; waits ``retry_delay * 2**(attempt-1)``
+      plus deterministic jitter between attempts.
     """
     points = list(points)
     total = len(points)
@@ -146,37 +314,278 @@ def run_points(
         nonlocal done
         results[index] = result
         done += 1
-        if result.ok and not result.cached and cache is not None:
-            cache.put(cache.key_for_point(result.point), result.stats)
+        if result.ok and not result.cached and not result.journaled:
+            if cache is not None:
+                cache.put(cache.key_for_point(result.point), result.stats)
+            if journal is not None:
+                journal.record(result.point, result.stats)
         if progress is not None:
             progress(done, total, result)
 
     pending: list[int] = []
     for index, point in enumerate(points):
+        if journal is not None:
+            stats = journal.get(journal.key_for_point(point))
+            if stats is not None:
+                finish(index, PointResult(point, stats=stats, journaled=True,
+                                          attempts=0))
+                continue
         cached = cache.get(cache.key_for_point(point)) if cache is not None \
             else None
         if cached is not None:
-            finish(index, PointResult(point, stats=cached, cached=True))
+            finish(index, PointResult(point, stats=cached, cached=True,
+                                      attempts=0))
         else:
             pending.append(index)
 
-    if jobs == 1 or len(pending) <= 1:
-        for index in pending:
-            _, stats_dict, error = _worker((index, points[index]))
-            stats = None if stats_dict is None else stats_from_dict(stats_dict)
-            finish(index, PointResult(points[index], stats=stats, error=error))
+    if not pending:
         return results  # type: ignore[return-value]
 
-    workers = min(jobs, len(pending))
-    # chunked submission amortises pickling/IPC over several points per task
-    chunksize = max(1, len(pending) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        payloads = [(index, points[index]) for index in pending]
-        for index, stats_dict, error in pool.map(_worker, payloads,
-                                                 chunksize=chunksize):
-            stats = None if stats_dict is None else stats_from_dict(stats_dict)
-            finish(index, PointResult(points[index], stats=stats, error=error))
+    if timeout is not None:
+        # enforcing a wall-clock bound needs killable workers, even for
+        # jobs=1: run a fleet of (at least) one
+        _run_fleet(points, pending, finish, max(1, min(jobs, len(pending))),
+                   timeout, retries, retry_delay)
+    elif jobs > 1 and retries > 0:
+        # retries with jobs>1 also imply process isolation (a point that
+        # takes its worker down must not take the sweep down), so the
+        # fleet runs even for a single pending point
+        _run_fleet(points, pending, finish, min(jobs, len(pending)),
+                   None, retries, retry_delay)
+    elif jobs == 1 or len(pending) == 1:
+        _run_serial(points, pending, finish, retries, retry_delay)
+    else:
+        _run_executor(points, pending, finish, min(jobs, len(pending)))
     return results  # type: ignore[return-value]
+
+
+def _run_serial(points, pending, finish, retries: int,
+                retry_delay: float) -> None:
+    """In-process execution with bounded retry + backoff."""
+    for index in pending:
+        attempt = 0
+        while True:
+            attempt += 1
+            _, stats_dict, error = _worker((index, points[index]))
+            if error is None or attempt > retries:
+                break
+            time.sleep(_backoff(retry_delay, attempt, index))
+        stats = None if stats_dict is None else stats_from_dict(stats_dict)
+        finish(index, PointResult(points[index], stats=stats, error=error,
+                                  attempts=attempt))
+
+
+def _run_executor(points, pending, finish, workers: int) -> None:
+    """Plain ProcessPoolExecutor fan-out with BrokenProcessPool recovery.
+
+    A worker killed hard (OOM killer, SIGKILL) poisons the whole pool:
+    every outstanding future raises :class:`BrokenProcessPool`.  Recovery
+    rebuilds the pool and requeues exactly the unresolved points; after
+    ``POOL_FAILURE_LIMIT`` consecutive breakages the remaining points
+    degrade to in-process serial execution — slower, but immune.
+    """
+    remaining = set(pending)
+    breakages = 0
+    while remaining:
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(remaining))) as pool:
+                futures = {pool.submit(_worker, (index, points[index])): index
+                           for index in sorted(remaining)}
+                for future in as_completed(futures):
+                    index, stats_dict, error = future.result()
+                    remaining.discard(index)
+                    stats = None if stats_dict is None \
+                        else stats_from_dict(stats_dict)
+                    finish(index, PointResult(points[index], stats=stats,
+                                              error=error))
+            breakages = 0
+        except BrokenProcessPool:
+            breakages += 1
+            if breakages >= POOL_FAILURE_LIMIT:
+                _run_serial(points, sorted(remaining), finish, 0, 0.0)
+                return
+
+
+def _fleet_child(conn) -> None:
+    """Fleet worker main: execute tasks from the pipe until the sentinel.
+
+    Runs :func:`_worker` (which never raises), so the only exits are the
+    ``None`` sentinel, a closed pipe, or being killed by the parent's
+    timeout watchdog.
+    """
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                return
+            conn.send(_worker(task))
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+
+
+@dataclass
+class _Slot:
+    """One fleet worker: a process, its pipe, and its current assignment."""
+
+    process: object
+    conn: object
+    index: Optional[int] = None  # point index in flight, or None (idle)
+    attempt: int = 0
+    deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.index is not None
+
+
+def _run_fleet(points, pending, finish, workers: int,
+               timeout: Optional[float], retries: int,
+               retry_delay: float) -> None:
+    """Self-healing worker fleet: direct task dispatch over pipes, a
+    wall-clock watchdog per in-flight point, kill-and-requeue for
+    stragglers and dead workers, bounded retries with backoff.
+
+    Workers are forked (where available) so test doubles installed on
+    :data:`_POINT_RUNNER` propagate; each worker owns a dedicated
+    duplex pipe, and the parent multiplexes completions with
+    :func:`multiprocessing.connection.wait`.
+    """
+    import multiprocessing
+    from multiprocessing.connection import wait as conn_wait
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context()
+
+    def spawn() -> _Slot:
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(target=_fleet_child, args=(child_conn,),
+                              daemon=True)
+        process.start()
+        child_conn.close()
+        return _Slot(process=process, conn=parent_conn)
+
+    def retire(slot: _Slot) -> None:
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        slot.process.kill()
+        slot.process.join()
+
+    # queue of (point index, attempt) ready to dispatch now; delayed holds
+    # (ready-at monotonic time, index, attempt) entries backing off
+    queue: list[tuple[int, int]] = [(index, 1) for index in pending]
+    delayed: list[tuple[float, int, int]] = []
+    unresolved = set(pending)
+    slots = [spawn() for _ in range(workers)]
+
+    def requeue(index: int, attempt: int, error: str) -> None:
+        """A point crashed/timed out/lost its worker: retry or fail."""
+        if attempt > retries:
+            finish(index, PointResult(points[index], error=error,
+                                      attempts=attempt))
+            unresolved.discard(index)
+            return
+        delay = _backoff(retry_delay, attempt, index)
+        delayed.append((time.monotonic() + delay, index, attempt + 1))
+
+    try:
+        while unresolved:
+            now = time.monotonic()
+            # move backoff-expired tasks into the ready queue
+            if delayed:
+                ready = [entry for entry in delayed if entry[0] <= now]
+                if ready:
+                    delayed[:] = [e for e in delayed if e[0] > now]
+                    queue.extend((index, attempt)
+                                 for _, index, attempt in sorted(ready))
+            # dispatch ready tasks to idle slots
+            for slot in slots:
+                if not queue:
+                    break
+                if slot.busy:
+                    continue
+                index, attempt = queue.pop(0)
+                slot.index, slot.attempt = index, attempt
+                slot.deadline = (now + timeout) if timeout is not None \
+                    else None
+                try:
+                    slot.conn.send((index, points[index]))
+                except (BrokenPipeError, OSError):
+                    # worker died between tasks: respawn and requeue
+                    retire(slot)
+                    fresh = spawn()
+                    slots[slots.index(slot)] = fresh
+                    requeue(index, attempt,
+                            "worker process died before accepting the point")
+
+            busy = [slot for slot in slots if slot.busy]
+            if not busy:
+                if queue:
+                    continue
+                if delayed:
+                    time.sleep(max(0.0, min(e[0] for e in delayed)
+                                   - time.monotonic()))
+                    continue
+                break  # unresolved but nothing queued: all accounted for
+
+            # wake on the next completion, deadline, or backoff expiry
+            wait_until = min((slot.deadline for slot in busy
+                              if slot.deadline is not None),
+                             default=None)
+            if delayed:
+                soonest = min(entry[0] for entry in delayed)
+                wait_until = soonest if wait_until is None \
+                    else min(wait_until, soonest)
+            wait_timeout = None if wait_until is None \
+                else max(0.0, wait_until - time.monotonic())
+            ready_conns = conn_wait([slot.conn for slot in busy],
+                                    timeout=wait_timeout)
+
+            for slot in [s for s in busy if s.conn in ready_conns]:
+                index, attempt = slot.index, slot.attempt
+                try:
+                    result_index, stats_dict, error = slot.conn.recv()
+                except (EOFError, OSError):
+                    # the worker died mid-point (segfault, OOM kill)
+                    retire(slot)
+                    slots[slots.index(slot)] = spawn()
+                    requeue(index, attempt,
+                            "worker process died while running the point")
+                    continue
+                slot.index, slot.attempt, slot.deadline = None, 0, None
+                if error is not None and attempt <= retries:
+                    requeue(index, attempt, error)
+                    continue
+                stats = None if stats_dict is None \
+                    else stats_from_dict(stats_dict)
+                finish(result_index, PointResult(
+                    points[result_index], stats=stats, error=error,
+                    attempts=attempt))
+                unresolved.discard(result_index)
+
+            # timeout watchdog: kill stragglers past their deadline
+            now = time.monotonic()
+            for position, slot in enumerate(slots):
+                if (slot.busy and slot.deadline is not None
+                        and now >= slot.deadline
+                        and slot.conn not in ready_conns):
+                    index, attempt = slot.index, slot.attempt
+                    retire(slot)
+                    slots[position] = spawn()
+                    requeue(index, attempt,
+                            f"TimeoutError: point exceeded the {timeout}s "
+                            f"wall-clock budget (attempt {attempt})")
+    finally:
+        for slot in slots:
+            if not slot.busy:
+                try:
+                    slot.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            retire(slot)
 
 
 def collect_stats(results: list[PointResult]) -> dict[tuple, SimStats]:

@@ -45,6 +45,15 @@ class VerificationError(AssertionError):
     """A renaming/dataflow verification check failed."""
 
 
+class PipelineHang(RuntimeError):
+    """The cycle-loop watchdog aborted the run (deadlock or cycle budget).
+
+    The message carries a :meth:`Processor.diagnostic_snapshot` — ROB-head
+    state, issue-queue occupancy, rename free-list counts — so a hang is
+    debuggable from the exception alone (e.g. out of a sweep worker's
+    captured traceback)."""
+
+
 def _values_equal(a, b) -> bool:
     if a == b:
         return True
@@ -173,6 +182,47 @@ class Processor:
     def _shadow_recovery(self) -> bool:
         return isinstance(self.renamer, SharingRenamer)
 
+    def diagnostic_snapshot(self) -> str:
+        """One-line-per-structure pipeline state dump for watchdog aborts."""
+        head = self.rob.head()
+        if head is None:
+            head_line = "rob head: <empty>"
+        else:
+            head_line = (f"rob head: {head} completed={head.completed} "
+                         f"exception={head.exception_raised} "
+                         f"issue_cycle={head.issue_cycle}")
+        completion_next = self.completion[0][0] if self.completion else None
+        return "\n".join([
+            f"cycle={self.cycle} committed={self.stats.committed} "
+            f"last_progress={self._last_progress} halted={self._halted}",
+            head_line,
+            f"rob: {len(self.rob)}/{self.config.rob_size} occupied",
+            f"iq: {len(self.iq)}/{self.config.iq_size} occupied, "
+            f"{len(self.iq.ready_entries())} ready",
+            f"fetch: queue={len(self.fetch.queue)} eof={self.fetch.eof}",
+            f"free regs: int={self.renamer.free_registers(RegClass.INT)} "
+            f"fp={self.renamer.free_registers(RegClass.FP)}",
+            f"completion heap: {len(self.completion)} pending, "
+            f"next due cycle {completion_next}",
+        ])
+
+    def _watchdog_abort(self, reason: str) -> None:
+        raise PipelineHang(f"{reason}\n{self.diagnostic_snapshot()}")
+
+    def inject_flush(self, penalty: Optional[int] = None) -> int:
+        """Fault injection: force a precise flush + recovery right now.
+
+        Equivalent to an exception arriving at the commit boundary:
+        everything in flight is squashed, rename state recovers from the
+        retirement map, and the squashed instructions re-fetch in order.
+        Used by the squash-storm injector (:mod:`repro.faults.injectors`);
+        only call between cycles (from an ``on_cycle`` hook under the
+        naive loop).  Returns the penalty charged.
+        """
+        if penalty is None:
+            penalty = self.config.exception_flush_penalty
+        return self._flush_and_replay(penalty)
+
     # ------------------------------------------------------------------ main loop
     def run(self, max_insts: Optional[int] = None) -> SimStats:
         if self._naive_loop:
@@ -221,12 +271,12 @@ class Processor:
             if self.on_cycle is not None and self.cycle % self.on_cycle_interval == 0:
                 self.on_cycle(self)
             if self.cycle > self.config.max_cycles:
-                raise RuntimeError("cycle budget exceeded")
+                self._watchdog_abort(
+                    f"cycle budget ({self.config.max_cycles}) exceeded")
             if self.cycle - self._last_progress > 200_000:
-                raise RuntimeError(
-                    f"pipeline deadlock at cycle {self.cycle}: "
-                    f"rob={len(self.rob)} iq={len(self.iq)} head={self.rob.head()}"
-                )
+                self._watchdog_abort(
+                    f"pipeline deadlock: no progress for "
+                    f"{self.cycle - self._last_progress} cycles")
 
     def _run_event(self, max_insts: Optional[int]) -> None:
         """Event-driven cycle loop: skip runs of provably-quiet cycles.
@@ -283,12 +333,14 @@ class Processor:
             if on_cycle is not None and cycle % interval == 0:
                 on_cycle(self)
             if cycle > max_cycles:
-                raise RuntimeError("cycle budget exceeded")
+                self.cycle = cycle
+                self._watchdog_abort(
+                    f"cycle budget ({max_cycles}) exceeded")
             if cycle - self._last_progress > 200_000:
-                raise RuntimeError(
-                    f"pipeline deadlock at cycle {cycle}: "
-                    f"rob={len(rob_entries)} iq={iq._size} head={self.rob.head()}"
-                )
+                self.cycle = cycle
+                self._watchdog_abort(
+                    f"pipeline deadlock: no progress for "
+                    f"{cycle - self._last_progress} cycles")
 
             # ---- quiet-cycle skip ----------------------------------------
             # A cycle is quiet when every stage is provably idle: nothing

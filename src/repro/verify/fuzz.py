@@ -296,10 +296,22 @@ def _random_item(rng: random.Random, allow_control: bool = True,
     return {"kind": "loop", "count": rng.randint(2, 6), "body": body}
 
 
-def generate(seed: int, size: int = 40) -> FuzzProgram:
-    """Generate one seeded random program (``size`` top-level IR items)."""
+def generate(seed: int, size: int = 40,
+             variant: Optional[str] = None) -> FuzzProgram:
+    """Generate one seeded random program (``size`` top-level IR items).
+
+    ``variant`` overrides the seeded variant draw (the draw is still
+    consumed, keeping the rng stream aligned with the unforced generator);
+    the fault-injection campaign forces ``"plain"`` to keep its workloads
+    exception-free — injected adversity must be the *only* adversity in a
+    faulted run.
+    """
     rng = random.Random(seed)
-    variant = rng.choices(VARIANTS, weights=(5, 3, 2, 2))[0]
+    drawn = rng.choices(VARIANTS, weights=(5, 3, 2, 2))[0]
+    if variant is None:
+        variant = drawn
+    elif variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}")
     # the plain variant runs under early release too, which cannot take a
     # precise exception — so no TRAPs there (no other item can fault)
     items = [_random_item(rng, allow_trap=variant != "plain")
@@ -342,16 +354,6 @@ def fuzz_config(scheme: str, variant: str):
     )
 
 
-def _canon(value):
-    """Canonical form for stream comparison (NaN-safe, -0.0 == 0.0)."""
-    if isinstance(value, float):
-        if value != value:
-            return "nan"
-        if value == 0.0:
-            return 0.0
-    return value
-
-
 def run_case(fp: FuzzProgram, schemes=ALL_SCHEMES) -> dict:
     """Run one fuzz program under every applicable scheme.
 
@@ -361,21 +363,15 @@ def run_case(fp: FuzzProgram, schemes=ALL_SCHEMES) -> dict:
     :class:`FuzzFailure` on the first failing scheme or stream mismatch.
     """
     from repro.pipeline.debug import check_invariants
-    from repro.verify.oracle import lockstep_run
+    from repro.verify.oracle import CommitRecorder
 
     program = fp.build()
     fault = fp.variant == "faults"
     signatures: dict[str, list] = {}
     counts: dict[str, int] = {}
     for scheme in schemes_for(fp.variant, schemes):
-        stream: list = []
         config = fuzz_config(scheme, fp.variant)
-
-        def record(processor, dyn, _stream=stream):
-            if dyn.micro_op or dyn.wrong_path:
-                return
-            _stream.append((dyn.seq, dyn.pc, dyn.op.value, dyn.mem_addr,
-                            _canon(dyn.store_value), _canon(dyn.result)))
+        record = CommitRecorder()
 
         try:
             from repro.frontend.fetch import IterSource
@@ -404,7 +400,7 @@ def run_case(fp: FuzzProgram, schemes=ALL_SCHEMES) -> dict:
         except Exception as exc:
             raise FuzzFailure(fp, scheme,
                               f"{type(exc).__name__}: {exc}") from exc
-        signatures[scheme] = stream
+        signatures[scheme] = record.stream
         counts[scheme] = stats.committed
 
     baseline_scheme = next(iter(signatures))

@@ -60,6 +60,43 @@ def values_equal(a, b) -> bool:
     return a != a and b != b
 
 
+def canon_value(value):
+    """Canonical form for commit-stream comparison (NaN-safe, -0.0 == 0.0)."""
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if value == 0.0:
+            return 0.0
+    return value
+
+
+class CommitRecorder:
+    """``on_commit`` hook that collects a canonical committed-instruction
+    signature: one ``(seq, pc, op, mem_addr, store_value, result)`` tuple
+    per architectural commit (micro-ops and wrong-path fetches excluded),
+    values canonicalised with :func:`canon_value`.
+
+    Two runs of the same program are architecturally equivalent iff their
+    signatures match — the fuzzer uses this to cross-check schemes against
+    each other, and the fault-injection campaign to compare a faulted run
+    against its clean reference.
+    """
+
+    def __init__(self) -> None:
+        self.stream: list[tuple] = []
+
+    def __call__(self, processor, dyn: DynInst) -> None:
+        if dyn.micro_op or dyn.wrong_path:
+            return
+        self.stream.append((
+            dyn.seq, dyn.pc, dyn.op.value, dyn.mem_addr,
+            canon_value(dyn.store_value), canon_value(dyn.result),
+        ))
+
+    def signature(self) -> tuple:
+        return tuple(self.stream)
+
+
 @dataclass(frozen=True)
 class CommitRecord:
     """One committed instruction as the oracle saw it."""
@@ -261,6 +298,8 @@ def lockstep_run(
     program_budget: int = 10_000_000,
     on_cycle=None,
     on_cycle_interval: int = 16,
+    on_commit=None,
+    naive_loop: Optional[bool] = None,
 ):
     """Run ``program`` through the pipeline with the oracle attached.
 
@@ -283,6 +322,7 @@ def lockstep_run(
     processor = Processor(
         config, IterSource(stream), fault_model=fault_model,
         on_cycle=on_cycle, on_cycle_interval=on_cycle_interval,
+        on_commit=on_commit, naive_loop=naive_loop,
         oracle=oracle,
     )
     return processor.run(max_insts=max_insts)

@@ -1,0 +1,333 @@
+"""Resilient sweep execution: timeouts, retries, crash-safe resume.
+
+Worker behaviour is controlled by monkeypatching
+:data:`repro.harness.parallel._POINT_RUNNER`; on Linux the pool and the
+fleet fork their workers, so the patched runner propagates into children.
+Cross-process side effects (crash-once counters) go through files, the
+only channel that survives the process boundary.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness import parallel
+from repro.harness.cache import (ResultCache, atomic_write_text,
+                                 default_journal_dir)
+from repro.harness.parallel import (PointResult, SweepError, SweepJournal,
+                                    SweepPoint, collect_stats, run_points)
+from repro.workloads.profiles import BENCHMARKS
+
+TINY = dict(size=48, insts=1500)
+
+
+def _points(count=2, scheme="conventional"):
+    profile = BENCHMARKS["gsm"]
+    return [SweepPoint(profile=profile, scheme=scheme, seed=seed + 1, **TINY)
+            for seed in range(count)]
+
+
+@pytest.fixture()
+def runner(monkeypatch):
+    """Patch the point runner; returns a setter."""
+
+    def install(fn):
+        monkeypatch.setattr(parallel, "_POINT_RUNNER", fn)
+
+    yield install
+
+
+# ------------------------------------------------------------- error capture
+def test_failure_error_carries_worker_traceback(runner):
+    def boom(point):
+        raise ValueError(f"injected for {point.seed}")
+
+    runner(boom)
+    results = run_points(_points(1), jobs=1)
+    assert not results[0].ok
+    assert "ValueError: injected for 1" in results[0].error
+    assert "Traceback (most recent call last)" in results[0].error
+    assert "in boom" in results[0].error  # the failing frame is named
+
+
+def test_sweep_error_includes_traceback_and_label(runner):
+    def boom(point):
+        raise RuntimeError("kaput")
+
+    runner(boom)
+    results = run_points(_points(1), jobs=1)
+    with pytest.raises(SweepError) as excinfo:
+        collect_stats(results)
+    message = str(excinfo.value)
+    assert "gsm/conventional" in message
+    assert "RuntimeError: kaput" in message
+    assert "Traceback" in message
+
+
+def test_parallel_failure_also_carries_traceback(runner):
+    def boom(point):
+        raise ValueError("parallel boom")
+
+    runner(boom)
+    results = run_points(_points(3), jobs=2)
+    assert all("Traceback" in r.error for r in results)
+
+
+# ------------------------------------------------------------- retries
+def _flaky_runner(marker: Path, fail_times: int):
+    """Fails the first ``fail_times`` calls (counted via a file, so the
+    count is shared across worker processes), then succeeds."""
+
+    def flaky(point):
+        count = int(marker.read_text()) if marker.exists() else 0
+        marker.write_text(str(count + 1))
+        if count < fail_times:
+            raise RuntimeError(f"transient failure #{count}")
+        return parallel.simulate_point(point)
+
+    return flaky
+
+
+def test_serial_retry_recovers_from_transient_failures(tmp_path, runner):
+    runner(_flaky_runner(tmp_path / "count", 2))
+    baseline = parallel.simulate_point(_points(1)[0])
+    results = run_points(_points(1), jobs=1, retries=3, retry_delay=0.01)
+    assert results[0].ok
+    assert results[0].attempts == 3
+    assert results[0].stats.to_dict() == baseline.to_dict()
+
+
+def test_serial_retry_exhaustion_reports_last_error(tmp_path, runner):
+    runner(_flaky_runner(tmp_path / "count", 99))
+    results = run_points(_points(1), jobs=1, retries=2, retry_delay=0.01)
+    assert not results[0].ok
+    assert results[0].attempts == 3  # 1 try + 2 retries
+    assert "transient failure" in results[0].error
+
+
+def test_fleet_retry_recovers_from_transient_failures(tmp_path, runner):
+    runner(_flaky_runner(tmp_path / "count", 1))
+    baseline = parallel.simulate_point(_points(1)[0])
+    results = run_points(_points(1), jobs=2, retries=2, retry_delay=0.01)
+    assert results[0].ok
+    assert results[0].attempts == 2
+    assert results[0].stats.to_dict() == baseline.to_dict()
+
+
+def test_backoff_is_deterministic_and_grows():
+    first = parallel._backoff(0.25, 1, salt=3)
+    again = parallel._backoff(0.25, 1, salt=3)
+    assert first == again
+    assert parallel._backoff(0.25, 3, salt=3) > parallel._backoff(0.25, 1, 3)
+    assert parallel._backoff(0.0, 5, salt=1) == 0.0
+
+
+# ------------------------------------------------------------- timeouts
+def test_timeout_kills_straggler_and_reports_failure(runner):
+    def hang(point):
+        time.sleep(60)
+
+    runner(hang)
+    start = time.monotonic()
+    results = run_points(_points(2), jobs=2, timeout=0.5, retries=0)
+    elapsed = time.monotonic() - start
+    assert elapsed < 30  # nowhere near the 60 s sleep
+    assert all(not r.ok for r in results)
+    assert all("wall-clock" in r.error for r in results)
+
+
+def test_timeout_retry_succeeds_once_point_runs_fast(tmp_path, runner):
+    marker = tmp_path / "slow-once"
+
+    def slow_once(point):
+        if not marker.exists():
+            marker.write_text("x")
+            time.sleep(60)
+        return parallel.simulate_point(point)
+
+    runner(slow_once)
+    baseline = parallel.simulate_point(_points(1)[0])
+    results = run_points(_points(1), jobs=1, timeout=1.0, retries=1,
+                         retry_delay=0.01)
+    assert results[0].ok
+    assert results[0].attempts == 2
+    assert results[0].stats.to_dict() == baseline.to_dict()
+
+
+# ------------------------------------------------------------- worker death
+def test_worker_death_is_requeued_and_recovered(tmp_path, runner):
+    marker = tmp_path / "die-once"
+
+    def die_once(point):
+        if not marker.exists():
+            marker.write_text("x")
+            os._exit(17)  # hard exit: no exception, no cleanup
+        return parallel.simulate_point(point)
+
+    runner(die_once)
+    baseline = parallel.simulate_point(_points(1)[0])
+    results = run_points(_points(1), jobs=2, retries=1, retry_delay=0.01)
+    assert results[0].ok
+    assert results[0].stats.to_dict() == baseline.to_dict()
+
+
+def test_worker_death_without_retries_fails_the_point(runner):
+    def die(point):
+        os._exit(17)
+
+    runner(die)
+    results = run_points(_points(1), jobs=2, retries=0, timeout=30.0)
+    assert not results[0].ok
+    assert "died" in results[0].error
+
+
+def test_executor_broken_pool_degrades_to_serial(runner):
+    """The plain executor path (no timeout/retries) survives pool
+    breakage: every pool worker dies instantly, so the pool breaks
+    POOL_FAILURE_LIMIT times and the remainder runs in-process."""
+    parent = os.getpid()
+
+    def die_in_children(point):
+        if os.getpid() != parent:
+            os._exit(17)  # only ever in a pool worker, never in pytest
+        return parallel.simulate_point(point)
+
+    runner(die_in_children)
+    results = run_points(_points(2), jobs=2)
+    assert all(r.ok for r in results)
+
+
+# ------------------------------------------------------------- determinism
+def test_fleet_results_bit_identical_to_serial():
+    points = _points(3)
+    serial = run_points(points, jobs=1)
+    fleet = run_points(points, jobs=2, timeout=120.0, retries=2)
+    executor = run_points(points, jobs=2)
+    for a, b, c in zip(serial, fleet, executor):
+        assert a.ok and b.ok and c.ok
+        assert a.stats.to_dict() == b.stats.to_dict() == c.stats.to_dict()
+
+
+# ------------------------------------------------------------- journal
+def test_journal_records_and_resumes(tmp_path):
+    points = _points(3)
+    path = tmp_path / "sweep.jsonl"
+    first = run_points(points[:2], jobs=1, journal=SweepJournal(path))
+    assert all(r.ok and not r.journaled for r in first)
+
+    calls = []
+    original = parallel._POINT_RUNNER
+
+    def counting(point):
+        calls.append(point.seed)
+        return original(point)
+
+    parallel._POINT_RUNNER = counting
+    try:
+        resumed = run_points(points, jobs=1, journal=SweepJournal(path))
+    finally:
+        parallel._POINT_RUNNER = original
+    assert [r.journaled for r in resumed] == [True, True, False]
+    assert calls == [3]  # only the incomplete point re-simulated
+    for a, b in zip(first, resumed):
+        assert a.stats.to_dict() == b.stats.to_dict()
+
+
+def test_journal_served_points_have_zero_attempts(tmp_path):
+    points = _points(1)
+    path = tmp_path / "sweep.jsonl"
+    run_points(points, jobs=1, journal=SweepJournal(path))
+    resumed = run_points(points, jobs=1, journal=SweepJournal(path))
+    assert resumed[0].journaled and resumed[0].attempts == 0
+
+
+def test_journal_tolerates_corrupt_and_alien_lines(tmp_path):
+    points = _points(1)
+    path = tmp_path / "sweep.jsonl"
+    run_points(points, jobs=1, journal=SweepJournal(path))
+    text = path.read_text()
+    path.write_text('{"not json\n' + text + '{"key": 1}\ngarbage\n')
+    journal = SweepJournal(path)
+    assert journal.skipped_lines == 3
+    assert len(journal) == 1
+    resumed = run_points(points, jobs=1, journal=journal)
+    assert resumed[0].journaled
+
+
+def test_journal_from_stale_code_fingerprint_serves_nothing(tmp_path):
+    points = _points(1)
+    path = tmp_path / "sweep.jsonl"
+    run_points(points, jobs=1, journal=SweepJournal(path, fingerprint="old"))
+    fresh = SweepJournal(path, fingerprint="new")
+    assert len(fresh) == 1  # the entry is there...
+    results = run_points(points, jobs=1, journal=fresh)
+    assert not results[0].journaled  # ...but its key no longer matches
+
+
+def test_journal_file_is_valid_json_lines_after_every_point(tmp_path):
+    points = _points(2)
+    path = tmp_path / "sweep.jsonl"
+    seen = []
+
+    def check(done, total, result):
+        # the journal on disk must be complete and parseable mid-sweep
+        lines = [json.loads(line) for line in
+                 path.read_text().splitlines() if line]
+        seen.append(len(lines))
+        assert all("stats" in entry for entry in lines)
+
+    run_points(points, jobs=1, journal=SweepJournal(path), progress=check)
+    assert seen == [1, 2]
+
+
+def test_journal_and_cache_compose(tmp_path):
+    """Cache hits are not journaled (they were never run), journal hits
+    skip the cache — and every path yields identical stats."""
+    points = _points(2)
+    cache = ResultCache(root=tmp_path / "cache")
+    jpath = tmp_path / "sweep.jsonl"
+    first = run_points(points, jobs=1, cache=cache,
+                       journal=SweepJournal(jpath))
+    assert len(SweepJournal(jpath)) == 2
+    cached = run_points(points, jobs=1, cache=cache)
+    assert all(r.cached for r in cached)
+    journaled = run_points(points, jobs=1, cache=cache,
+                           journal=SweepJournal(jpath))
+    assert all(r.journaled for r in journaled)
+    for a, b, c in zip(first, cached, journaled):
+        assert a.stats.to_dict() == b.stats.to_dict() == c.stats.to_dict()
+
+
+# ------------------------------------------------------------- cache writes
+def test_atomic_write_replaces_not_appends(tmp_path):
+    target = tmp_path / "x.json"
+    atomic_write_text(target, "first")
+    atomic_write_text(target, "second")
+    assert target.read_text() == "second"
+    assert list(tmp_path.iterdir()) == [target]  # no stray temp files
+
+
+def test_result_cache_corruption_reads_as_miss_and_unlinks(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    point = _points(1)[0]
+    key = cache.key_for_point(point)
+    stats = parallel.simulate_point(point)
+    cache.put(key, stats)
+    assert cache.get(key) is not None
+    path = cache._path(key)
+    path.write_text("{torn")
+    assert cache.get(key) is None
+    assert not path.exists()
+    # a second reader racing the unlink sees a plain miss, not an error
+    assert cache.get(key) is None
+
+
+def test_default_journal_dir_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "j"))
+    assert default_journal_dir() == tmp_path / "j"
+    monkeypatch.delenv("REPRO_JOURNAL_DIR")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    assert default_journal_dir() == tmp_path / "c" / "journals"
