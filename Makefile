@@ -4,8 +4,8 @@ PYTHON ?= python
 JOBS ?= 4
 
 .PHONY: install test bench bench-parallel bench-full bench-floor repro \
-	examples cache-smoke sampling-smoke verify fuzz fuzz-smoke \
-	faults-smoke faults golden lint-goldens clean
+	examples cache-smoke sampling-smoke kernel-smoke verify fuzz \
+	fuzz-smoke faults-smoke faults golden lint-goldens clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -29,6 +29,11 @@ cache-smoke:
 # interval-sampling engine: sampled sweep determinism, CI fields, trace cache
 sampling-smoke:
 	$(PYTHON) tools/sampling_smoke.py
+
+# code-generated cycle kernels: every scheme bit-identical to the event
+# loop, sharing kernel >= 2x faster (same process, same machine)
+kernel-smoke:
+	$(PYTHON) tools/kernel_smoke.py
 
 # oracle-checked kernel battery: every scheme, lockstep vs the golden model
 verify:

@@ -1,0 +1,31 @@
+"""Code-generated per-config cycle kernels.
+
+See :mod:`repro.codegen.generator` for what gets specialized and
+:mod:`repro.codegen.cache` for the fingerprint-keyed on-disk cache.
+"""
+
+from repro.codegen.cache import (
+    KernelCache,
+    default_kernel_dir,
+    kernel_for,
+    kernels_enabled,
+    load_kernel,
+)
+from repro.codegen.fingerprint import kernel_fingerprint
+from repro.codegen.generator import (
+    GENERATOR_VERSION,
+    KernelUnavailable,
+    generate_kernel_source,
+)
+
+__all__ = [
+    "GENERATOR_VERSION",
+    "KernelCache",
+    "KernelUnavailable",
+    "default_kernel_dir",
+    "generate_kernel_source",
+    "kernel_fingerprint",
+    "kernel_for",
+    "kernels_enabled",
+    "load_kernel",
+]

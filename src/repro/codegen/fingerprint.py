@@ -1,0 +1,36 @@
+"""Content-addressed fingerprints for generated kernels.
+
+A kernel is valid only for the exact ``(scheme, MachineConfig)`` pair it
+was generated from *and* the exact simulator source it inlines, so the
+cache key folds together:
+
+* a generator ABI version (bumped when the generated-code shape changes),
+* the scheme and the full machine configuration
+  (:meth:`MachineConfig.kernel_payload`),
+* the repo-wide source fingerprint from :func:`harness.cache.code_fingerprint`
+  — editing any ``repro`` module invalidates every cached kernel, which is
+  deliberately conservative: the generator copies stage semantics from
+  several modules and tracking a precise dependency set is not worth the
+  risk of a stale kernel silently diverging.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.codegen.generator import GENERATOR_VERSION
+
+
+def kernel_fingerprint(config) -> str:
+    """Stable hex key identifying the kernel for ``config``."""
+    from repro.harness.cache import code_fingerprint
+
+    payload = {
+        "abi": GENERATOR_VERSION,
+        "scheme": config.scheme,
+        "config": config.kernel_payload(),
+        "code": code_fingerprint(),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]

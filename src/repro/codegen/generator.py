@@ -1,0 +1,1348 @@
+"""Per-(scheme, MachineConfig) cycle-kernel source generator.
+
+:func:`generate_kernel_source` emits one flattened Python module per
+configuration: a single ``run_kernel(proc, max_insts)`` function that
+replays :meth:`repro.pipeline.processor.Processor._run_event` with
+
+* machine constants (widths, structure sizes, cycle budgets, the PRT
+  version-counter saturation point) inlined as literals,
+* the functional-unit dispatch table resolved into a per-kind unrolled
+  ``if/elif`` chain with literal counts and latencies,
+* the renamer hot path — ``can_rename``, ``rename``, free-list pop, PRT
+  update, commit-time release bookkeeping — fused directly into the
+  rename/dispatch, writeback and commit stages for the concrete scheme,
+* config-dead code (interrupt delivery, register-file port limits,
+  operand verification, wrong-path squash) dropped entirely when the
+  config disables it,
+* the quiet-cycle skip logic specialized to the config's structure sizes.
+
+The generated kernel must be *bit-identical* to ``_run_event`` — same
+SimStats, same commit stream, same exception behaviour.  Three invariants
+make that safe:
+
+* **hoisted-local freshness**: locals bound to containers that recovery
+  rebinds (the scoreboard dict, rename-map entry lists, the
+  conventional/early free deques, the sharing refcount lists) are
+  re-hoisted after every call that can trigger a flush — exception and
+  interrupt handlers, ``on_cycle`` hooks, the slow-path ``_commit``.
+  Containers only ever mutated in place (ROB deque, completion heap,
+  LSQ deques, PRT entry lists, retirement maps, register-file value
+  dicts) are hoisted once.
+* **mirror flushing**: the hottest counters (``stats.committed``, the
+  four occupancy accumulators, ``proc._last_progress``) live in plain
+  locals; they are flushed back to the processor before anything
+  external can observe them (``on_cycle`` hooks, the slow-path
+  ``_commit`` with its oracle/on_commit hooks, watchdog aborts) and
+  unconditionally in a ``finally`` block, so even a propagating
+  simulation error leaves the processor's stats exactly as the event
+  loop would have.  After any delegated call that may mutate them they
+  are re-read.
+* **slow-path delegation**: anything cold or stateful-in-a-subtle-way
+  (repair µop injection on stale sources, sharing ``_release`` predictor
+  training, wrong-path squash, flush/replay) calls the original bound
+  method, so there is exactly one implementation of the tricky parts.
+
+Renamer subclasses that override hot-path methods (e.g. ad-hoc oracle
+renamers in tests) are rejected at dispatch time by the exact-class
+``codegen_id`` check in :func:`repro.codegen.kernel_for` — the generated
+code inlines *this* scheme's methods, so only the class that declares the
+matching ``codegen_id`` in its own ``__dict__`` may run it.
+"""
+
+from __future__ import annotations
+
+#: schemes the generator knows how to flatten
+KNOWN_SCHEMES = ("conventional", "early", "sharing", "hinted")
+
+#: FU dispatch chain order, hottest kinds first (measured on hmmer)
+_FU_ORDER = ("alu", "mem", "fpu", "branch", "mul", "div", "fpdiv")
+
+#: bump when the generated code's shape or its contract with the
+#: simulator internals changes, so stale cached kernels read as misses
+GENERATOR_VERSION = 2
+
+
+class KernelUnavailable(RuntimeError):
+    """No kernel can be generated for this configuration."""
+
+
+def _reindent(block: str, pad: str) -> str:
+    """Re-indent a template block (written at column 0) by ``pad``."""
+    lines = []
+    for line in block.strip("\n").splitlines():
+        lines.append(pad + line if line.strip() else "")
+    return "\n".join(lines)
+
+
+def _shift(text: str, pad: str = "    ") -> str:
+    """Shift already-indented emitted text deeper by ``pad``."""
+    return "\n".join(pad + line if line.strip() else ""
+                     for line in text.splitlines())
+
+
+#: mirror flush: plain stores — the locals own the authoritative values
+_FLUSH = """
+stats.committed = n_committed
+stats.rob_occupancy_sum = occ_rob
+stats.iq_occupancy_sum = occ_iq
+stats.free_regs_sum = occ_free
+stats.occupancy_samples = occ_samples
+proc._last_progress = last_progress
+"""
+
+
+def _fu_chain(config, pad: str) -> str:
+    """Unrolled per-kind FU reservation; each miss ``continue``s to the
+    next ready instruction (mirrors FUPool.try_issue returning None)."""
+    kinds = [k for k in _FU_ORDER if k in config.fu_config]
+    kinds += [k for k in config.fu_config if k not in kinds]
+    parts = []
+    for pos, kind in enumerate(kinds):
+        count, latency, pipelined = config.fu_config[kind]
+        kw = "if" if pos == 0 else "elif"
+        if pipelined:
+            parts.append(
+                f'{kw} fu == "{kind}":\n'
+                f'    _n = fus_used.get("{kind}", 0)\n'
+                f'    if _n >= {count}:\n'
+                f'        continue\n'
+                f'    fus_used["{kind}"] = _n + 1\n'
+                f'    latency = {latency}'
+            )
+        else:
+            parts.append(
+                f'{kw} fu == "{kind}":\n'
+                f'    _n = fus_used.get("{kind}", 0)\n'
+                f'    if _n >= {count}:\n'
+                f'        continue\n'
+                f'    _slots = fus_slots_{kind}\n'
+                f'    for _si in range({count}):\n'
+                f'        if _slots[_si] <= cycle:\n'
+                f'            _slots[_si] = cycle + {latency}\n'
+                f'            break\n'
+                f'    else:\n'
+                f'        continue\n'
+                f'    fus_used["{kind}"] = _n + 1\n'
+                f'    latency = {latency}'
+            )
+    # unknown kind: defer to the pool so the failure mode (KeyError)
+    # matches the event loop exactly
+    parts.append(
+        'else:\n'
+        '    latency = fus.try_issue(fu, cycle)\n'
+        '    if latency is None:\n'
+        '        continue'
+    )
+    return _reindent("\n".join(parts), pad)
+
+
+def _refresh_block(scheme: str, pad: str) -> str:
+    """Re-hoist every local that a flush/recovery can rebind."""
+    lines = ["scoreboard = proc.scoreboard"]
+    if scheme in ("conventional", "early"):
+        lines += [
+            "int_free = _dom_int.free",
+            "fp_free = _dom_fp.free",
+            "int_map = _dom_int.map.entries",
+            "fp_map = _dom_fp.map.entries",
+        ]
+    else:  # sharing / hinted
+        lines += [
+            "int_map = _dom_int.map.entries",
+            "fp_map = _dom_fp.map.entries",
+            "int_refcount = _dom_int.refcount",
+            "fp_refcount = _dom_fp.refcount",
+        ]
+    return _reindent("\n".join(lines), pad)
+
+
+# --------------------------------------------------------------------- scheme hoists
+def _scheme_hoists(scheme: str, pad: str) -> str:
+    common = (
+        "_dom_int = renamer._domains_by_value[0]\n"
+        "_dom_fp = renamer._domains_by_value[1]\n"
+        "int_map = _dom_int.map.entries\n"
+        "fp_map = _dom_fp.map.entries\n"
+        "int_retire = _dom_int.retire_map.entries\n"
+        "fp_retire = _dom_fp.retire_map.entries\n"
+        "int_rfv = _dom_int.rf._values\n"
+        "fp_rfv = _dom_fp.rf._values\n"
+        "int_caps = _dom_int.rf._capacity\n"
+        "fp_caps = _dom_fp.rf._capacity\n"
+    )
+    if scheme in ("conventional", "early"):
+        block = common + (
+            "int_free = _dom_int.free\n"
+            "fp_free = _dom_fp.free\n"
+        )
+        if scheme == "early":
+            block += (
+                "int_states = _dom_int.state\n"
+                "fp_states = _dom_fp.state\n"
+            )
+    else:  # sharing / hinted
+        block = common + (
+            "int_flist = _dom_int.free\n"
+            "fp_flist = _dom_fp.free\n"
+            "int_prt = _dom_int.prt.entries\n"
+            "fp_prt = _dom_fp.prt.entries\n"
+            "int_shadow = _dom_int.shadow_of\n"
+            "fp_shadow = _dom_fp.shadow_of\n"
+            "int_refcount = _dom_int.refcount\n"
+            "fp_refcount = _dom_fp.refcount\n"
+            "int_last_bank = _dom_int.config.num_banks - 1\n"
+            "fp_last_bank = _dom_fp.config.num_banks - 1\n"
+            "tp_table = renamer.predictor.table\n"
+            "tp_mask = renamer.predictor.mask\n"
+            "tp_max = renamer.predictor.max_value\n"
+            "tp_stats = renamer.predictor.stats\n"
+            "su_table = renamer.single_use.table\n"
+            "su_mask = renamer.single_use.mask\n"
+            "su_stats = renamer.single_use.stats\n"
+            "renamer_release = renamer._release\n"
+            "renamer_rename = renamer.rename\n"
+            "renamer_can_rename = renamer.can_rename\n"
+            "renamer_uops_needed = renamer.uops_needed\n"
+        )
+    return _reindent(block, pad)
+
+
+# --------------------------------------------------------------------- commit bodies
+def _commit_renamer_block(scheme: str, pad: str) -> str:
+    """Inline of ``renamer.commit(head)`` for the fast commit path."""
+    if scheme == "conventional":
+        block = """
+dest = head.dest
+dt = head.dest_tag
+if dest is not None and dt is not None:
+    if dt[0] == 0:
+        _retire = int_retire; _free_sel = int_free; _rfv = int_rfv
+    else:
+        _retire = fp_retire; _free_sel = fp_free; _rfv = fp_rfv
+    _idx = dest[1]
+    _old = _retire[_idx]
+    if _old is None:
+        raise AssertionError("logical register " + str(_idx) + " unmapped")
+    _retire[_idx] = (dt[1], dt[2])
+    if _old[0] != dt[1]:
+        _rfv.pop(_old[0], None)
+        _free_sel.append(_old[0])
+        ren_stats.releases += 1
+"""
+    elif scheme == "early":
+        block = """
+dest = head.dest
+dt = head.dest_tag
+if dest is not None and dt is not None:
+    if dt[0] == 0:
+        _retire = int_retire; _free_sel = int_free; _states = int_states
+    else:
+        _retire = fp_retire; _free_sel = fp_free; _states = fp_states
+    _retire[dest[1]] = (dt[1], dt[2])
+    _old_phys, _old_gen = head.prev_map
+    _st = _states[_old_phys]
+    if (_old_phys != dt[1] and not _st.released
+            and _st.generation == _old_gen):
+        _st.released = True
+        _free_sel.append(_old_phys)
+        renamer.commit_releases += 1
+        ren_stats.releases += 1
+"""
+    else:  # sharing / hinted
+        # the release path is fully inlined (consumers-log training, bank
+        # predictor on_release, register-file drop, free-list push, PRT
+        # reset); it must mirror SharingRenamer._release exactly
+        block = """
+dt = head.dest_tag
+if head.dest is not None and dt is not None:
+    if dt[0] == 0:
+        _retire = int_retire; _refcount = int_refcount
+        _prt_sel = int_prt; _shadow_sel = int_shadow
+        _rfv_sel = int_rfv; _flist_sel = int_flist
+    else:
+        _retire = fp_retire; _refcount = fp_refcount
+        _prt_sel = fp_prt; _shadow_sel = fp_shadow
+        _rfv_sel = fp_rfv; _flist_sel = fp_flist
+    _idx = head.dest[1]
+    _old = _retire[_idx]
+    _np = dt[1]
+    if _old[0] != _np or _old[1] != dt[2]:
+        _retire[_idx] = (_np, dt[2])
+        _refcount[_np] += 1
+        _op = _old[0]
+        _refcount[_op] -= 1
+        if _refcount[_op] == 0:
+            _pe = _prt_sel[_op]
+            _missed = 0
+            _clog = _pe.consumers_log
+            if _clog:
+                _muv = _pe.multi_use_versions
+                for _cpc, _cver, _ckind in _clog:
+                    if _cver not in _muv:
+                        _si = (_cpc ^ (_cpc >> 9)) & su_mask
+                        _sv = su_table[_si] + 1
+                        su_table[_si] = _sv if _sv < 3 else 3
+                        if _ckind != "reused":
+                            su_stats.missed += 1
+                            if _ckind == "denied_pred":
+                                _missed += 1
+                        else:
+                            su_stats.confirmed_good += 1
+            _ai = _pe.alloc_index
+            if _ai >= 0:
+                tp_stats.releases += 1
+                _pb = _shadow_sel[_op]
+                _ar = _pe.version
+                _xu = _pe.extra_use
+                if _ar == _pb and not _xu and _missed == 0:
+                    tp_stats.exact_hits += 1
+                if _xu:
+                    tp_stats.reuse_incorrect += 1
+                    tp_table[_ai] = 0
+                elif _pb > 0:
+                    if _ar > 0:
+                        tp_stats.reuse_correct += 1
+                    else:
+                        tp_stats.reuse_unused += 1
+                    if _ar < _pb:
+                        _tv = tp_table[_ai] - 1
+                        tp_table[_ai] = _tv if _tv > 0 else 0
+                elif _missed > 0:
+                    tp_stats.no_reuse_incorrect += 1
+                else:
+                    tp_stats.no_reuse_correct += 1
+            _rfv_sel.pop(_op, None)
+            if _flist_sel._is_free[_op]:
+                raise AssertionError("double free of p" + str(_op))
+            _flist_sel._free[_flist_sel._bank_of[_op]].append(_op)
+            _flist_sel._is_free[_op] = True
+            _flist_sel._count += 1
+            _pe.read_bit = False
+            _pe.version = 0
+            _pe.alloc_index = -1
+            _pe.predicted_single_use = False
+            _pe.extra_use = False
+            _pe.lost_reuse = 0
+            _pe.consumers_log = []
+            _pe.multi_use_versions = set()
+            ren_stats.releases += 1
+"""
+    return _reindent(block, pad)
+
+
+# --------------------------------------------------------------------- writeback write
+def _writeback_write_block(scheme: str, pad: str) -> str:
+    """Inline of ``renamer.write(dest_tag, result)``."""
+    if scheme == "early":
+        block = """
+if dt[0] == 0:
+    _rfv = int_rfv; _caps = int_caps; _states = int_states
+    _free_sel = int_free
+else:
+    _rfv = fp_rfv; _caps = fp_caps; _states = fp_states
+    _free_sel = fp_free
+_ph = dt[1]
+_ver = dt[2]
+if _ph >= 0 and _ver >= _caps[_ph]:
+    raise AssertionError(
+        "write of version " + str(_ver) + " exceeds capacity "
+        + str(_caps[_ph]) + " of p" + str(_ph))
+_vers = _rfv.get(_ph)
+if _vers is None:
+    _rfv[_ph] = {_ver: _result}
+else:
+    _vers[_ver] = _result
+_st = _states[_ph]
+_st.produced = True
+if _st.unmapped and _st.pending_reads == 0 and not _st.released:
+    _st.released = True
+    _free_sel.append(_ph)
+    renamer.early_releases += 1
+    ren_stats.releases += 1
+"""
+    else:
+        block = """
+if dt[0] == 0:
+    _rfv = int_rfv; _caps = int_caps
+else:
+    _rfv = fp_rfv; _caps = fp_caps
+_ph = dt[1]
+_ver = dt[2]
+if _ph >= 0 and _ver >= _caps[_ph]:
+    raise AssertionError(
+        "write of version " + str(_ver) + " exceeds capacity "
+        + str(_caps[_ph]) + " of p" + str(_ph))
+_vers = _rfv.get(_ph)
+if _vers is None:
+    _rfv[_ph] = {_ver: _result}
+else:
+    _vers[_ver] = _result
+"""
+    return _reindent(block, pad)
+
+
+# --------------------------------------------------------------------- rename bodies
+def _sharing_single_use_pred(scheme: str, pad: str) -> str:
+    if scheme == "hinted":
+        block = """
+_hints = dyn.hint_src_single_use
+_pred = bool(_hints[_i]) if _i < len(_hints) else False
+"""
+    else:
+        block = """
+su_stats.predictions += 1
+_pred = su_table[(_pc ^ (_pc >> 9)) & su_mask] >= 2
+if _pred:
+    su_stats.predicted_yes += 1
+"""
+    return _reindent(block, pad)
+
+
+def _sharing_bank_pred(scheme: str, pad: str) -> str:
+    if scheme == "hinted":
+        block = """
+_pi = (_pc ^ (_pc >> 9)) & tp_mask
+if dyn.hint_dest_single_use:
+    _pb = dyn.hint_reuse_depth
+    if _pb < 1:
+        _pb = 1
+    elif _pb > 3:
+        _pb = 3
+else:
+    _pb = 0
+"""
+    else:
+        block = """
+_pi = (_pc ^ (_pc >> 9)) & tp_mask
+tp_stats.predictions += 1
+_pb = tp_table[_pi]
+"""
+    return _reindent(block, pad)
+
+
+def _rename_body(config, pad: str) -> str:
+    """The fused rename/dispatch stage for the configured scheme.
+
+    Emitted inside ``while dispatched < RW:`` at indent ``pad``.
+    """
+    scheme = config.scheme
+    ROB = config.rob_size
+    IQS = config.iq_size
+    LQ = config.lq_size
+    SQ = config.sq_size
+    MAXV = (1 << config.counter_bits) - 1
+
+    head = f"""
+if not fetch_queue:
+    break
+dyn = fetch_queue[0]
+_srcs = dyn.srcs
+if {ROB} - len(rob_entries) >= 7 and {IQS} - iq._size >= 7:
+    pass
+else:
+"""
+    if scheme in ("conventional", "early"):
+        head += """
+    if len(rob_entries) >= {ROB}:
+        stats.rename_stall_rob += 1
+        rename_stall = 1
+        break
+    if iq._size >= {IQS}:
+        stats.rename_stall_iq += 1
+        rename_stall = 2
+        break
+""".format(ROB=ROB, IQS=IQS)
+    else:
+        # uops_needed() is only non-zero when a source is stale (repair
+        # µops); scan for staleness inline and price the group with the
+        # bound method only in that rare case
+        head += f"""
+    _slots = 1
+    for _s in _srcs:
+        if _s[0] is _RC_INT:
+            _t = int_map[_s[1]]
+            if _t[1] < int_prt[_t[0]].version:
+                _slots = renamer_uops_needed(dyn, is_ready) + 1
+                break
+        else:
+            _t = fp_map[_s[1]]
+            if _t[1] < fp_prt[_t[0]].version:
+                _slots = renamer_uops_needed(dyn, is_ready) + 1
+                break
+    if {ROB} - len(rob_entries) < _slots:
+        stats.rename_stall_rob += 1
+        rename_stall = 1
+        break
+    if {IQS} - iq._size < _slots:
+        stats.rename_stall_iq += 1
+        rename_stall = 2
+        break
+"""
+    head += f"""
+info = dyn._info
+if info is None:
+    info = OPCODES[dyn.op]
+    dyn._info = info
+_is_load = info.is_load
+_is_store = info.is_store
+if _is_load:
+    if lsq._loads >= {LQ}:
+        stats.rename_stall_lsq += 1
+        rename_stall = 3
+        break
+elif _is_store:
+    if lsq._stores >= {SQ}:
+        stats.rename_stall_lsq += 1
+        rename_stall = 3
+        break
+dest = dyn.dest
+"""
+
+    if scheme in ("conventional", "early"):
+        can_rename = """
+if dest is not None:
+    if not (int_free if dest[0] is _RC_INT else fp_free):
+        stats.rename_stall_regs += 1
+        rename_stall = 4
+        break
+fetch_queue.popleft()
+ren_stats.insts += 1
+"""
+    else:
+        can_rename = """
+_wc = len(_srcs) + 1
+if int_flist._count >= _wc and fp_flist._count >= _wc:
+    pass
+elif not renamer_can_rename(dyn):
+    stats.rename_stall_regs += 1
+    rename_stall = 4
+    break
+fetch_queue.popleft()
+"""
+
+    if scheme == "conventional":
+        rename_core = """
+src_tags = []
+for _s in _srcs:
+    if _s[0] is _RC_INT:
+        _t = int_map[_s[1]]
+        if _t is None:
+            raise AssertionError(
+                "logical register " + str(_s[1]) + " unmapped")
+        src_tags.append((0, _t[0], _t[1]))
+    else:
+        _t = fp_map[_s[1]]
+        if _t is None:
+            raise AssertionError(
+                "logical register " + str(_s[1]) + " unmapped")
+        src_tags.append((1, _t[0], _t[1]))
+dyn.src_tags = src_tags
+if dest is not None:
+    ren_stats.dest_insts += 1
+    if dest[0] is _RC_INT:
+        _cv = 0; _map = int_map; _free_sel = int_free
+    else:
+        _cv = 1; _map = fp_map; _free_sel = fp_free
+    if not _free_sel:
+        raise AssertionError("rename called without a free register")
+    _ph = _free_sel.popleft()
+    _prev = _map[dest[1]]
+    if _prev is None:
+        raise AssertionError(
+            "logical register " + str(dest[1]) + " unmapped")
+    dyn.prev_map = _prev
+    dyn.allocated_new = True
+    dyn.alloc_bank = 0
+    _map[dest[1]] = (_ph, 0)
+    dyn.dest_tag = (_cv, _ph, 0)
+    ren_stats.allocations += 1
+    ren_stats.allocations_per_bank[0] += 1
+"""
+    elif scheme == "early":
+        rename_core = """
+src_tags = []
+for _s in _srcs:
+    if _s[0] is _RC_INT:
+        _cv = 0; _map = int_map; _states = int_states
+    else:
+        _cv = 1; _map = fp_map; _states = fp_states
+    _t = _map[_s[1]]
+    if _t is None:
+        raise AssertionError(
+            "logical register " + str(_s[1]) + " unmapped")
+    _ph = _t[0]
+    _states[_ph].pending_reads += 1
+    src_tags.append((_cv, _ph, 0))
+dyn.src_tags = src_tags
+if dest is not None:
+    ren_stats.dest_insts += 1
+    if dest[0] is _RC_INT:
+        _cv = 0; _map = int_map; _states = int_states
+        _free_sel = int_free
+    else:
+        _cv = 1; _map = fp_map; _states = fp_states
+        _free_sel = fp_free
+    if not _free_sel:
+        raise AssertionError("rename called without a free register")
+    _ph = _free_sel.popleft()
+    _st = _states[_ph]
+    _st.pending_reads = 0
+    _st.produced = False
+    _st.unmapped = False
+    _st.released = False
+    _st.generation += 1
+    _prev = _map[dest[1]]
+    if _prev is None:
+        raise AssertionError(
+            "logical register " + str(dest[1]) + " unmapped")
+    _pp = _prev[0]
+    _pst = _states[_pp]
+    dyn.prev_map = (_pp, _pst.generation)
+    dyn.allocated_new = True
+    _map[dest[1]] = (_ph, 0)
+    dyn.dest_tag = (_cv, _ph, 0)
+    ren_stats.allocations += 1
+    ren_stats.allocations_per_bank[0] += 1
+    _pst.unmapped = True
+    if _pst.produced and _pst.pending_reads == 0 and not _pst.released:
+        _pst.released = True
+        _free_sel.append(_pp)
+        renamer.early_releases += 1
+        ren_stats.releases += 1
+"""
+    else:  # sharing / hinted
+        # a stale source needs repair µops (predictor training + extra
+        # allocations): delegate the whole instruction to the bound
+        # rename() *before* any inline mutation, so nothing double-applies
+        rename_core = """
+_stale = False
+for _s in _srcs:
+    if _s[0] is _RC_INT:
+        _t = int_map[_s[1]]
+        if _t[1] < int_prt[_t[0]].version:
+            _stale = True
+            break
+    else:
+        _t = fp_map[_s[1]]
+        if _t[1] < fp_prt[_t[0]].version:
+            _stale = True
+            break
+if _stale:
+    group = renamer_rename(dyn, is_ready)
+    for renamed in group:
+        renamed.rename_cycle = cycle
+        if renamed.dest_tag is not None:
+            scoreboard[renamed.dest_tag] = False
+        rob_push(renamed)
+        iq_insert(renamed, is_ready)
+        if renamed.info.is_mem:
+            lsq_insert(renamed)
+    dispatched += len(group)
+    last_progress = cycle
+    continue
+ren_stats.insts += 1
+src_tags = []
+first_use = {}
+for _s in _srcs:
+    if _s[0] is _RC_INT:
+        _cv = 0; _map = int_map; _prt = int_prt
+    else:
+        _cv = 1; _map = fp_map; _prt = fp_prt
+    _t = _map[_s[1]]
+    _ph = _t[0]
+    _ver = _t[1]
+    _e = _prt[_ph]
+    _key = (_cv, _ph, _ver)
+    if _key not in first_use:
+        _rb = _e.read_bit
+        first_use[_key] = not _rb
+        if _rb and _e.version == _ver:
+            _e.multi_use_versions.add(_ver)
+            if _e.predicted_single_use:
+                ren_stats.multi_use_detected += 1
+                _ai = _e.alloc_index
+                if _ai >= 0:
+                    tp_table[_ai] = 0
+    _e.read_bit = True
+    src_tags.append(_key)
+dyn.src_tags = src_tags
+if dest is not None:
+    ren_stats.dest_insts += 1
+    if dest[0] is _RC_INT:
+        _cv = 0; _map = int_map; _prt = int_prt; _flist = int_flist
+        _shadow = int_shadow; _rfv = int_rfv; _last_bank = int_last_bank
+    else:
+        _cv = 1; _map = fp_map; _prt = fp_prt; _flist = fp_flist
+        _shadow = fp_shadow; _rfv = fp_rfv; _last_bank = fp_last_bank
+    _didx = dest[1]
+    dyn.prev_map = _map[_didx]
+    _n = len(_srcs)
+    order = [_i for _i in range(_n) if _srcs[_i] == dest]
+    order += [_i for _i in range(_n) if _srcs[_i] != dest]
+    _pc = dyn.pc
+    _reused = False
+    for _i in order:
+        _s = _srcs[_i]
+        if _s[0] is not dest[0]:
+            continue
+        _tag = src_tags[_i]
+        _ph = _tag[1]
+        _ver = _tag[2]
+        _e = _prt[_ph]
+        if _e.version != _ver:
+            continue
+        if not first_use[(_cv, _ph, _ver)]:
+            if _s == dest:
+                ren_stats.lost_reuse_not_first_use += 1
+            continue
+        if _s != dest:
+$SINGLE_USE_PRED
+            if not _pred and _flist._count > 0:
+                _e.lost_reuse += 1
+                _log = _e.consumers_log
+                if len(_log) < 16:
+                    _log.append((_pc, _ver, "denied_pred"))
+                ren_stats.lost_reuse_not_predicted += 1
+                continue
+        if _ver >= $MAXV:
+            ren_stats.lost_reuse_saturated += 1
+            continue
+        if _ver >= _shadow[_ph]:
+            _e.lost_reuse += 1
+            _log = _e.consumers_log
+            if len(_log) < 16:
+                _log.append((_pc, _ver, "denied_cap"))
+            _ai = _e.alloc_index
+            if _ai >= 0:
+                _tv = tp_table[_ai] + 1
+                tp_table[_ai] = _tv if _tv < tp_max else tp_max
+            ren_stats.lost_reuse_no_shadow += 1
+            continue
+        _nv = _ver + 1
+        _e.version = _nv
+        _e.read_bit = False
+        _map[_didx] = (_ph, _nv)
+        dyn.dest_tag = (_cv, _ph, _nv)
+        dyn.reused_src = _i
+        ren_stats.reuses += 1
+        if _s == dest:
+            ren_stats.reuses_guaranteed += 1
+        else:
+            ren_stats.reuses_predicted += 1
+            _log = _e.consumers_log
+            if len(_log) < 16:
+                _log.append((_pc, _ver, "reused"))
+        _reused = True
+        break
+    if not _reused:
+$BANK_PRED
+        _bank = _pb if _pb < _last_bank else _last_bank
+        _dq = _flist._free[_bank]
+        if _dq:
+            _flist._count -= 1
+            _ph = _dq.popleft()
+            _flist._is_free[_ph] = False
+            _ab = _bank
+        else:
+            _alloc = _flist.allocate(_bank)
+            if _alloc is None:
+                raise AssertionError(
+                    "rename called without a free register")
+            _ph, _ab = _alloc
+        if _ab != _bank:
+            ren_stats.fallback_allocations += 1
+        _rfv.pop(_ph, None)
+        _e = _prt[_ph]
+        _e.read_bit = False
+        _e.version = 0
+        _e.alloc_index = _pi
+        _e.predicted_single_use = _pb > 0
+        _e.extra_use = False
+        _e.lost_reuse = 0
+        _e.consumers_log = []
+        _e.multi_use_versions = set()
+        _map[_didx] = (_ph, 0)
+        dyn.dest_tag = (_cv, _ph, 0)
+        dyn.allocated_new = True
+        dyn.alloc_bank = _ab
+        ren_stats.allocations += 1
+        ren_stats.allocations_per_bank[_ab] += 1
+"""
+        rename_core = rename_core.replace(
+            "$SINGLE_USE_PRED",
+            _sharing_single_use_pred(scheme, " " * 12))
+        rename_core = rename_core.replace(
+            "$BANK_PRED", _sharing_bank_pred(scheme, " " * 8))
+        rename_core = rename_core.replace("$MAXV", str(MAXV))
+
+    dispatch_tail = f"""
+dyn.rename_cycle = cycle
+dt = dyn.dest_tag
+if dt is not None:
+    scoreboard[dt] = False
+if len(rob_entries) >= {ROB}:
+    raise AssertionError("ROB overflow")
+rob_entries.append(dyn)
+if iq._size >= {IQS}:
+    raise AssertionError("issue queue overflow")
+waiting = None
+for _tag in dyn.src_tags:
+    if not scoreboard.get(_tag, False):
+        if waiting is None:
+            waiting = {{_tag}}
+        else:
+            waiting.add(_tag)
+_entry = _IQEntry(dyn, waiting, next(iq_ticket))
+iq_by_dyn[id(dyn)] = _entry
+iq._size += 1
+if waiting:
+    for _tag in waiting:
+        _wl = iq_by_tag.get(_tag)
+        if _wl is None:
+            iq_by_tag[_tag] = [_entry]
+        else:
+            _wl.append(_entry)
+else:
+    iq._ready.append(_entry)
+    iq._ready_view = None
+if _is_load or _is_store:
+    _me = _MemEntry(dyn, _is_store,
+                    0 if _is_store else lsq._unissued_stores)
+    lsq_entries.append(_me)
+    lsq_by_id[id(dyn)] = _me
+    dyn.lsq_entry = _me
+    if _is_store:
+        lsq._stores += 1
+        lsq._unissued_stores += 1
+    else:
+        lsq._loads += 1
+dispatched += 1
+last_progress = cycle
+"""
+    return _reindent(head + can_rename + rename_core + dispatch_tail, pad)
+
+
+# --------------------------------------------------------------------- generator
+def generate_kernel_source(config) -> str:
+    """Emit the flattened kernel module body for ``config``.
+
+    The returned text defines ``run_kernel(proc, max_insts=None)``; the
+    cache layer adds the fingerprint header/footer before writing it to
+    disk.  Raises :class:`KernelUnavailable` for schemes the generator
+    does not know.
+    """
+    scheme = config.scheme
+    if scheme not in KNOWN_SCHEMES:
+        raise KernelUnavailable(f"no kernel generator for scheme {scheme!r}")
+
+    RW = config.rename_width
+    IW = config.issue_width
+    CW = config.commit_width
+    MAXC = config.max_cycles
+    II = config.interrupt_interval
+    RP = config.rf_read_ports
+    WP = config.rf_write_ports
+    VV = config.verify_values
+    MWP = config.model_wrong_path
+    track_reads = scheme == "early"
+
+    unpipelined = [k for k, (_c, _l, piped) in config.fu_config.items()
+                   if not piped]
+
+    L: list[str] = []
+    L.append(f'"""Generated cycle kernel (scheme={scheme!r}).')
+    L.append("")
+    L.append("Machine-generated by repro.codegen.generator — do not edit;")
+    L.append("regenerated whenever the MachineConfig or the simulator source")
+    L.append('fingerprint changes.  Must stay bit-identical to _run_event."""')
+    L.append("import heapq")
+    L.append("")
+    L.append("from repro.isa.opcodes import OPCODES, Op")
+    L.append("from repro.isa.registers import RegClass")
+    L.append("from repro.pipeline.issue_queue import _Entry as _IQEntry, _ticket_of")
+    L.append("from repro.pipeline.lsq import _MemEntry")
+    L.append("")
+    L.append("_heappush = heapq.heappush")
+    L.append("_heappop = heapq.heappop")
+    L.append("_OP_HALT = Op.HALT")
+    L.append("_RC_INT = RegClass.INT")
+    L.append("")
+    L.append("")
+    L.append("def run_kernel(proc, max_insts=None):")
+    L.append("    config = proc.config")
+    guard = (f'config.scheme != "{scheme}" or config.rename_width != {RW} '
+             f'or config.issue_width != {IW} or config.commit_width != {CW} '
+             f'or config.rob_size != {config.rob_size} '
+             f'or config.iq_size != {config.iq_size} '
+             f'or config.max_cycles != {MAXC}')
+    L.append(f"    if {guard}:")
+    L.append('        raise RuntimeError(')
+    L.append('            "generated kernel does not match this MachineConfig")')
+
+    L.append(_reindent("""
+stats = proc.stats
+renamer = proc.renamer
+ren_stats = renamer.stats
+fetch = proc.fetch
+fetch_queue = fetch.queue
+fetch_tick = fetch.tick
+fetch_next_active = fetch.next_active_cycle
+fetch_account_idle = fetch.account_idle
+fetch_branch_resolved = fetch.branch_resolved
+rob_entries = proc.rob._entries
+rob_push = proc.rob.push
+iq = proc.iq
+iq_by_dyn = iq._by_dyn
+iq_by_tag = iq._by_tag
+iq_ticket = iq._ticket
+iq_ready_entries = iq.ready_entries
+iq_insert = iq.insert
+lsq = proc.lsq
+lsq_entries = lsq._entries
+lsq_by_id = lsq._by_id
+lsq_retire = lsq.retire
+lsq_mark_issued = lsq.mark_issued
+lsq_forwarding = lsq.forwarding_store
+lsq_insert = lsq.insert
+fus = proc.fus
+fus_used = fus._used
+completion = proc.completion
+ticket = proc._ticket
+data_access = proc.hierarchy.data_access
+on_cycle = proc.on_cycle
+interval = proc.on_cycle_interval
+slow_commit = (proc.oracle is not None or proc.on_commit is not None
+               or proc.trace is not None)
+proc_commit = proc._commit
+recycle = proc._recycle
+is_ready = proc.is_ready
+scoreboard = proc.scoreboard
+n_committed = stats.committed
+occ_rob = stats.rob_occupancy_sum
+occ_iq = stats.iq_occupancy_sum
+occ_free = stats.free_regs_sum
+occ_samples = stats.occupancy_samples
+last_progress = proc._last_progress
+""", "    "))
+    if VV:
+        L.append("    proc_verify = proc._verify_operands")
+    for kind in unpipelined:
+        L.append(f'    fus_slots_{kind} = fus._busy_until["{kind}"]')
+    L.append(_scheme_hoists(scheme, "    "))
+    L.append("    cycle = proc.cycle")
+    if II:
+        L.append(f"    next_interrupt = {II}")
+
+    # ---- main loop (assembled separately, then wrapped in try/finally:
+    # the mirror flush must run even when a simulation error propagates)
+    B: list[str] = []
+    B.append(_reindent("""
+while True:
+    if proc._halted:
+        break
+    if max_insts is not None and n_committed >= max_insts:
+        break
+    if (not rob_entries and not fetch_queue and fetch._eof
+            and fetch._pending is None and not fetch.replay):
+        break
+    cycle += 1
+    proc.cycle = cycle
+""", "    "))
+
+    if II:
+        B.append(_reindent(f"""
+if cycle >= next_interrupt:
+{_reindent(_FLUSH, "    ")}
+    try:
+        _penalty = proc._handle_interrupt()
+    finally:
+{_refresh_block(scheme, "        ")}
+        last_progress = proc._last_progress
+    next_interrupt = cycle + {II} + _penalty
+""", "        "))
+
+    # ---- commit --------------------------------------------------------
+    B.append(_reindent(f"""
+if rob_entries and rob_entries[0].completed:
+    if slow_commit:
+{_reindent(_FLUSH, "        ")}
+        try:
+            proc_commit()
+        finally:
+{_refresh_block(scheme, "            ")}
+            n_committed = stats.committed
+            last_progress = proc._last_progress
+    else:
+        _committed = 0
+        while _committed < {CW}:
+            if not rob_entries:
+                break
+            head = rob_entries[0]
+            if not head.completed:
+                break
+            if head.exception_raised:
+{_reindent(_FLUSH, "                ")}
+                try:
+                    proc._handle_exception(head)
+                finally:
+{_refresh_block(scheme, "                    ")}
+                    last_progress = proc._last_progress
+                break
+            if head.wrong_path:
+                raise AssertionError(
+                    "wrong-path instruction reached commit: the "
+                    "mispredicted branch must have resolved (and "
+                    "squashed it) first")
+            rob_entries.popleft()
+            head.commit_cycle = cycle
+            info = head._info
+            if info is None:
+                info = OPCODES[head.op]
+                head._info = info
+            if info.is_store:
+                data_access(head.pc, head.mem_addr, True, cycle)
+                lsq_retire(head)
+                stats.stores += 1
+            elif info.is_load:
+                lsq_retire(head)
+                stats.loads += 1
+{_commit_renamer_block(scheme, "            ")}
+            if head.micro_op:
+                stats.committed_uops += 1
+            else:
+                n_committed += 1
+            if head.op is _OP_HALT:
+                proc._halted = True
+                break
+            if recycle is not None:
+                recycle.release(head)
+            _committed += 1
+            last_progress = cycle
+""", "        "))
+
+    # ---- writeback -----------------------------------------------------
+    wb: list[str] = []
+    wb.append("if completion and completion[0][0] <= cycle:")
+    if WP is not None:
+        wb.append("    _wu0 = 0")
+        wb.append("    _wu1 = 0")
+    wb.append("    while completion and completion[0][0] <= cycle:")
+    wb.append("        _item = _heappop(completion)")
+    wb.append("        dyn = _item[2]")
+    wb.append("        if dyn.squashed:")
+    wb.append("            continue")
+    wb.append("        dt = dyn.dest_tag")
+    if WP is not None:
+        wb.append("        if dt is not None:")
+        wb.append(f"            if (_wu0 if dt[0] == 0 else _wu1) >= {WP}:")
+        wb.append("                _heappush(completion,")
+        wb.append("                          (cycle + 1, next(ticket), dyn))")
+        wb.append("                break")
+        wb.append("            if dt[0] == 0:")
+        wb.append("                _wu0 += 1")
+        wb.append("            else:")
+        wb.append("                _wu1 += 1")
+    wb.append("        dyn.completed = True")
+    wb.append("        dyn.complete_cycle = cycle")
+    wb.append("        if dt is not None:")
+    wb.append("            _result = dyn.result")
+    wb.append("            if _result is not None:")
+    wb.append(_writeback_write_block(scheme, "                "))
+    wb.append("            scoreboard[dt] = True")
+    wb.append("            _wl = iq_by_tag.pop(dt, None)")
+    wb.append("            if _wl:")
+    wb.append("                _ready = iq._ready")
+    wb.append("                for _entry in _wl:")
+    wb.append("                    if _entry.removed:")
+    wb.append("                        continue")
+    wb.append("                    _w = _entry.waiting")
+    wb.append("                    _w.discard(dt)")
+    wb.append("                    if not _w:")
+    wb.append("                        _entry.in_ready = True")
+    wb.append("                        if (_ready and")
+    wb.append("                                _ready[-1].ticket > _entry.ticket):")
+    wb.append("                            iq._ready_dirty = True")
+    wb.append("                        _ready.append(_entry)")
+    wb.append("                        iq._ready_view = None")
+    wb.append("        info = dyn._info")
+    wb.append("        if info is None:")
+    wb.append("            info = OPCODES[dyn.op]")
+    wb.append("            dyn._info = info")
+    wb.append("        if info.is_branch:")
+    if MWP:
+        wb.append("            _extra = 0")
+        wb.append("            if dyn.mispredicted and not dyn.wrong_path:")
+        wb.append("                _extra = proc._squash_wrong_path(dyn)")
+        wb.append("            fetch_branch_resolved(dyn, cycle, _extra)")
+    else:
+        wb.append("            fetch_branch_resolved(dyn, cycle, 0)")
+    wb.append("        last_progress = cycle")
+    B.append(_reindent("\n".join(wb), "        "))
+
+    # ---- issue (ready_entries() inlined at the gate) --------------------
+    iss: list[str] = []
+    iss.append("_rl = iq._ready")
+    iss.append("if _rl:")
+    iss.append("    if iq._ready_stale:")
+    iss.append("        _rl = [_e for _e in _rl if not _e.removed]")
+    iss.append("        iq._ready = _rl")
+    iss.append("        iq._ready_stale = False")
+    iss.append("        iq._ready_view = None")
+    iss.append("    if iq._ready_dirty:")
+    iss.append("        _rl.sort(key=_ticket_of)")
+    iss.append("        iq._ready_dirty = False")
+    iss.append("        iq._ready_view = None")
+    iss.append("    ready = iq._ready_view")
+    iss.append("    if ready is None:")
+    iss.append("        ready = [_e.dyn for _e in _rl]")
+    iss.append("        iq._ready_view = ready")
+    iss.append("    if ready:")
+    iss.append("        issued = 0")
+    if RP is not None:
+        iss.append("        _ru0 = 0")
+        iss.append("        _ru1 = 0")
+    iss.append("        for dyn in ready:")
+    iss.append(f"            if issued >= {IW}:")
+    iss.append("                break")
+    iss.append("            info = dyn._info")
+    iss.append("            if info is None:")
+    iss.append("                info = OPCODES[dyn.op]")
+    iss.append("                dyn._info = info")
+    iss.append("            _is_load = info.is_load")
+    iss.append("            if _is_load and not dyn.faults:")
+    iss.append("                _le = dyn.lsq_entry")
+    iss.append("                if _le is None:")
+    iss.append('                    raise AssertionError("instruction not in LSQ")')
+    iss.append("                if _le.blockers != 0:")
+    iss.append("                    continue")
+    if RP is not None:
+        iss.append("            _n0 = 0")
+        iss.append("            _n1 = 0")
+        iss.append("            for _tag in dyn.src_tags:")
+        iss.append("                if _tag[0] == 0:")
+        iss.append("                    _n0 += 1")
+        iss.append("                else:")
+        iss.append("                    _n1 += 1")
+        iss.append(f"            if _ru0 + _n0 > {RP} or _ru1 + _n1 > {RP}:")
+        iss.append("                continue")
+    iss.append("            fu = info.fu")
+    iss.append("            if fus._cycle != cycle:")
+    iss.append("                fus._cycle = cycle")
+    iss.append("                fus_used.clear()")
+    iss.append(_fu_chain(config, "            "))
+    if RP is not None:
+        iss.append("            _ru0 += _n0")
+        iss.append("            _ru1 += _n1")
+    iss.append("            if dyn.faults:")
+    iss.append("                total = latency")
+    iss.append("                dyn.exception_raised = True")
+    iss.append("            elif _is_load:")
+    iss.append("                _fwd = lsq_forwarding(dyn)")
+    iss.append("                if _fwd is not None:")
+    iss.append("                    total = latency + 1")
+    iss.append("                    stats.store_forwards += 1")
+    iss.append("                else:")
+    iss.append("                    total = latency + data_access(")
+    iss.append("                        dyn.pc, dyn.mem_addr, False, cycle)")
+    iss.append("                _le = dyn.lsq_entry")
+    iss.append("                if _le is None:")
+    iss.append('                    raise AssertionError("instruction not in LSQ")')
+    iss.append("                if not _le.issued:")
+    iss.append("                    _le.issued = True")
+    iss.append("            elif info.is_store:")
+    iss.append("                total = latency")
+    iss.append("                lsq_mark_issued(dyn)")
+    iss.append("            else:")
+    iss.append("                total = latency")
+    if VV:
+        iss.append("            proc_verify(dyn)")
+    if track_reads:
+        iss.append("            for _tag in dyn.src_tags:")
+        iss.append("                if _tag[0] == 0:")
+        iss.append("                    _states = int_states")
+        iss.append("                    _free_sel = int_free")
+        iss.append("                else:")
+        iss.append("                    _states = fp_states")
+        iss.append("                    _free_sel = fp_free")
+        iss.append("                _st = _states[_tag[1]]")
+        iss.append("                _st.pending_reads -= 1")
+        iss.append("                assert _st.pending_reads >= 0, "
+                   '"pending-read underflow"')
+        iss.append("                if (_st.unmapped and _st.produced")
+        iss.append("                        and _st.pending_reads == 0")
+        iss.append("                        and not _st.released):")
+        iss.append("                    _st.released = True")
+        iss.append("                    _free_sel.append(_tag[1])")
+        iss.append("                    renamer.early_releases += 1")
+        iss.append("                    ren_stats.releases += 1")
+    iss.append("            _entry = iq_by_dyn.pop(id(dyn), None)")
+    iss.append("            if _entry is None:")
+    iss.append('                raise AssertionError("instruction not in issue queue")')
+    iss.append("            _entry.removed = True")
+    iss.append("            iq._size -= 1")
+    iss.append("            if _entry.in_ready:")
+    iss.append("                iq._ready_stale = True")
+    iss.append("                iq._ready_view = None")
+    iss.append("            dyn.issue_cycle = cycle")
+    iss.append("            _heappush(completion,")
+    iss.append("                      (cycle + total, next(ticket), dyn))")
+    iss.append("            stats.issued += 1")
+    iss.append("            issued += 1")
+    iss.append("            last_progress = cycle")
+    B.append(_reindent("\n".join(iss), "        "))
+
+    # ---- rename/dispatch ----------------------------------------------
+    ren: list[str] = []
+    ren.append("rename_stall = 0")
+    ren.append("if fetch_queue:")
+    ren.append("    dispatched = 0")
+    ren.append(f"    while dispatched < {RW}:")
+    ren.append(_rename_body(config, "        "))
+    B.append(_reindent("\n".join(ren), "        "))
+
+    # ---- fetch + accounting + hooks + watchdogs ------------------------
+    free_expr = ("int_flist._count" if scheme in ("sharing", "hinted")
+                 else "len(int_free)")
+    B.append(_reindent(f"""
+fetch_tick(cycle)
+occ_rob += len(rob_entries)
+occ_iq += iq._size
+occ_free += {free_expr}
+occ_samples += 1
+if on_cycle is not None and cycle % interval == 0:
+{_reindent(_FLUSH, "    ")}
+    try:
+        on_cycle(proc)
+    finally:
+{_refresh_block(scheme, "        ")}
+        n_committed = stats.committed
+        occ_rob = stats.rob_occupancy_sum
+        occ_iq = stats.iq_occupancy_sum
+        occ_free = stats.free_regs_sum
+        occ_samples = stats.occupancy_samples
+        last_progress = proc._last_progress
+if cycle > {MAXC}:
+{_reindent(_FLUSH, "    ")}
+    proc._watchdog_abort(
+        "cycle budget ({MAXC}) exceeded")
+if cycle - last_progress > 200_000:
+{_reindent(_FLUSH, "    ")}
+    proc._watchdog_abort(
+        "pipeline deadlock: no progress for "
+        + str(cycle - last_progress) + " cycles")
+""", "        "))
+
+    # ---- cycle-skip: quiet cycles and busy-stall windows ---------------
+    QS = config.fetch_queue
+    skip: list[str] = []
+    skip.append("if proc._halted:")
+    skip.append("    continue")
+    skip.append("if rob_entries and rob_entries[0].completed:")
+    skip.append("    continue")
+    skip.append("if max_insts is not None and n_committed >= max_insts:")
+    skip.append("    continue")
+    skip.append("if fetch_queue:")
+    skip.append("    # busy-stall window: rename is structurally stalled, this")
+    skip.append("    # cycle made zero progress (nothing committed, wrote back,")
+    skip.append("    # issued or renamed — ready entries, if any, are pinned by")
+    skip.append("    # load blockers or an unpipelined unit), the ROB head is")
+    skip.append("    # incomplete and fetch is quiescent (tick is a pure no-op on")
+    skip.append("    # a full queue with no redirect/I-cache stall pending, or")
+    skip.append("    # while blocked on an unresolved branch).  Every cycle until")
+    skip.append("    # the next completion or unpipelined-unit release replays")
+    skip.append("    # identically: same stall counter bump, no state change.")
+    skip.append("    # Bulk-apply those cycles.  Hooked runs take the")
+    skip.append("    # cycle-by-cycle path (hooks may mutate anything).")
+    skip.append("    if on_cycle is not None or rename_stall == 0:")
+    skip.append("        continue")
+    skip.append("    if last_progress == cycle:")
+    skip.append("        continue")
+    skip.append("    if not (fetch._waiting_branch_seq is not None")
+    skip.append(f"            or (len(fetch_queue) >= {QS}")
+    skip.append("                and fetch._resume_at is None")
+    skip.append("                and cycle >= fetch._stall_until)):")
+    skip.append("        continue")
+    skip.append("    target = completion[0][0] if completion else None")
+    for kind in unpipelined:
+        skip.append(f"    for _v in fus_slots_{kind}:")
+        skip.append("        if _v > cycle and (target is None or _v < target):")
+        skip.append("            target = _v")
+    skip.append("    limit = last_progress + 200_001")
+    skip.append("    if target is None or target > limit:")
+    skip.append("        target = limit")
+    if II:
+        skip.append("    if next_interrupt < target:")
+        skip.append("        target = next_interrupt")
+    skip.append(f"    if target > {MAXC + 1}:")
+    skip.append(f"        target = {MAXC + 1}")
+    skip.append("    skipped = target - cycle - 1")
+    skip.append("    if skipped <= 0:")
+    skip.append("        continue")
+    skip.append("    if rename_stall == 1:")
+    skip.append("        stats.rename_stall_rob += skipped")
+    skip.append("    elif rename_stall == 2:")
+    skip.append("        stats.rename_stall_iq += skipped")
+    skip.append("    elif rename_stall == 3:")
+    skip.append("        stats.rename_stall_lsq += skipped")
+    skip.append("    else:")
+    skip.append("        stats.rename_stall_regs += skipped")
+    skip.append("    occ_rob += skipped * len(rob_entries)")
+    skip.append("    occ_iq += skipped * iq._size")
+    skip.append(f"    occ_free += skipped * {free_expr}")
+    skip.append("    occ_samples += skipped")
+    skip.append("    proc.cycles_skipped += skipped")
+    skip.append("    cycle = target - 1")
+    skip.append("    proc.cycle = cycle")
+    skip.append("    continue")
+    skip.append("if iq._ready and iq_ready_entries():")
+    skip.append("    continue")
+    skip.append("if (not rob_entries and fetch._eof")
+    skip.append("        and fetch._pending is None and not fetch.replay):")
+    skip.append("    continue")
+    skip.append("target = completion[0][0] if completion else None")
+    skip.append("wake = fetch_next_active(cycle)")
+    skip.append("if wake is not None and (target is None or wake < target):")
+    skip.append("    target = wake")
+    skip.append("limit = last_progress + 200_001")
+    skip.append("if target is None or target > limit:")
+    skip.append("    target = limit")
+    if II:
+        skip.append("if next_interrupt < target:")
+        skip.append("    target = next_interrupt")
+    skip.append(f"if target > {MAXC + 1}:")
+    skip.append(f"    target = {MAXC + 1}")
+    skip.append("skipped = target - cycle - 1")
+    skip.append("if skipped <= 0:")
+    skip.append("    continue")
+    skip.append("occ_rob += skipped * len(rob_entries)")
+    skip.append("occ_iq += skipped * iq._size")
+    skip.append(f"occ_free += skipped * {free_expr}")
+    skip.append("occ_samples += skipped")
+    skip.append("fetch_account_idle(cycle + 1, target - 1)")
+    skip.append("proc.cycles_skipped += skipped")
+    skip.append("if on_cycle is not None:")
+    skip.append("    first = cycle + interval - (cycle % interval)")
+    skip.append("    for boundary in range(first, target, interval):")
+    skip.append("        proc.cycle = boundary")
+    skip.append(_reindent(_FLUSH, "        "))
+    skip.append("        try:")
+    skip.append("            on_cycle(proc)")
+    skip.append("        finally:")
+    skip.append(_refresh_block(scheme, "            "))
+    skip.append("            n_committed = stats.committed")
+    skip.append("            occ_rob = stats.rob_occupancy_sum")
+    skip.append("            occ_iq = stats.iq_occupancy_sum")
+    skip.append("            occ_free = stats.free_regs_sum")
+    skip.append("            occ_samples = stats.occupancy_samples")
+    skip.append("            last_progress = proc._last_progress")
+    skip.append("cycle = target - 1")
+    skip.append("proc.cycle = cycle")
+    B.append(_reindent("\n".join(skip), "        "))
+
+    L.append("    try:")
+    L.append(_shift("\n".join(B)))
+    L.append("    finally:")
+    L.append(_reindent(_FLUSH, "        "))
+    L.append("")
+
+    return "\n".join(L) + "\n"

@@ -75,6 +75,9 @@ class _Domain:
 class EarlyReleaseRenamer(BaseRenamer):
     """Release-on-last-read renaming (no precise exceptions)."""
 
+    #: see ConventionalRenamer.codegen_id (exact-class kernel dispatch)
+    codegen_id = "early"
+
     tracks_operand_reads = True
 
     #: a register can be released (and reallocated) as soon as its last

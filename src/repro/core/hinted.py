@@ -31,6 +31,9 @@ class HintedSharingRenamer(SharingRenamer):
     """Sharing renamer driven by static single-use hints instead of the
     hardware predictors."""
 
+    #: see ConventionalRenamer.codegen_id (exact-class kernel dispatch)
+    codegen_id = "hinted"
+
     def _single_use_prediction(self, dyn: DynInst, src_index: int,
                                dry_run: bool = False) -> bool:
         hints = dyn.hint_src_single_use

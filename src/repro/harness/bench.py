@@ -63,6 +63,7 @@ def bench_scheme(
     insts: int = 10_000,
     seed: int = 1,
     reps: int = 3,
+    kernel: bool = True,
 ) -> dict:
     """Throughput + allocation stats for one scheme.
 
@@ -70,13 +71,20 @@ def bench_scheme(
     rep (pipeline simulation mutates the DynInsts, so a stream cannot be
     replayed).  Best-of-``reps`` wall time is reported; a final untimed
     rep runs under tracemalloc for the allocation numbers.
+
+    ``kernel`` selects the cycle loop: True runs the code-generated
+    kernel (falling back to the event loop when unavailable — the
+    ``loop`` field records what actually ran), False forces the event
+    loop.  Kernel generation happens before the timed region (it is a
+    one-time, cached cost; ``generation_seconds`` in the kernel row of
+    :func:`run_bench` reports it separately).
     """
     config = MachineConfig(scheme=scheme, verify_values=False)
     best = float("inf")
     proc = None
     for _ in range(reps):
         stream = _stream(profile, insts, seed)
-        proc = Processor(config, IterSource(iter(stream)))
+        proc = Processor(config, IterSource(iter(stream)), kernel=kernel)
         start = time.perf_counter()
         proc.run()
         best = min(best, time.perf_counter() - start)
@@ -85,7 +93,7 @@ def bench_scheme(
     # allocation pressure, measured separately so timing stays clean
     stream = _stream(profile, insts, seed)
     tracemalloc.start()
-    mem_proc = Processor(config, IterSource(iter(stream)))
+    mem_proc = Processor(config, IterSource(iter(stream)), kernel=kernel)
     mem_proc.run()
     _current, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
@@ -99,7 +107,24 @@ def bench_scheme(
         "ipc": round(proc.stats.ipc, 4),
         "cycles_skipped": proc.cycles_skipped,
         "alloc_peak_kb": round(peak / 1024, 1),
+        "loop": proc.loop_used,
     }
+
+
+def _generation_seconds(scheme: str) -> Optional[float]:
+    """Wall time to generate + compile one kernel from scratch (no cache)."""
+    try:
+        from repro.codegen import generate_kernel_source
+    except Exception:
+        return None
+    config = MachineConfig(scheme=scheme, verify_values=False)
+    try:
+        start = time.perf_counter()
+        source = generate_kernel_source(config)
+        compile(source, "<bench-kernel>", "exec")
+        return round(time.perf_counter() - start, 4)
+    except Exception:
+        return None
 
 
 def bench_sampled(
@@ -155,15 +180,27 @@ def run_bench(
     spec = SAMPLING_QUICK if quick else SAMPLING_FULL
     results = {}
     for scheme in schemes:
+        # primary row: the generated kernel (what `Processor.run` uses by
+        # default); `event` sub-record: the interpreted event loop, for
+        # the speedup figure and as the like-for-like reference of the
+        # sampling comparison (the sampling engine is event-loop based)
         exact = bench_scheme(scheme, profile=profile, insts=insts,
-                             seed=seed, reps=reps)
+                             seed=seed, reps=reps, kernel=True)
+        event = bench_scheme(scheme, profile=profile, insts=insts,
+                             seed=seed, reps=reps, kernel=False)
+        exact["event"] = event
+        exact["speedup_vs_event"] = round(
+            exact["insts_per_sec"] / event["insts_per_sec"], 2)
+        generation = _generation_seconds(scheme)
+        if generation is not None:
+            exact["generation_seconds"] = generation
         sampled = bench_sampled(scheme, profile=profile, insts=insts,
                                 seed=seed, reps=reps, spec=spec)
         sampled["speedup_vs_exact"] = round(
-            sampled["insts_per_sec"] / exact["insts_per_sec"], 2)
+            sampled["insts_per_sec"] / event["insts_per_sec"], 2)
         sampled["ipc_delta_pct"] = round(
-            100.0 * (sampled["ipc"] / exact["ipc"] - 1.0), 2) \
-            if exact["ipc"] else 0.0
+            100.0 * (sampled["ipc"] / event["ipc"] - 1.0), 2) \
+            if event["ipc"] else 0.0
         exact["sampled"] = sampled
         results[scheme] = exact
     return {
@@ -187,13 +224,22 @@ def diff_against(record: Optional[dict], current: dict) -> list[str]:
     for scheme, result in current["schemes"].items():
         now = result["insts_per_sec"]
         old = committed.get(scheme, {}).get("insts_per_sec")
+        loop = result.get("loop", "event")
         if old:
             delta = 100.0 * (now / old - 1.0)
-            lines.append(f"{scheme:12s} {now:10.0f} insts/s "
+            lines.append(f"{scheme:12s} {now:10.0f} insts/s [{loop}] "
                          f"({delta:+.1f}% vs committed {old:.0f})")
         else:
-            lines.append(f"{scheme:12s} {now:10.0f} insts/s (no committed "
-                         f"reference)")
+            lines.append(f"{scheme:12s} {now:10.0f} insts/s [{loop}] "
+                         f"(no committed reference)")
+        event = result.get("event")
+        if event:
+            line = (f"{'  event':12s} {event['insts_per_sec']:10.0f} insts/s "
+                    f"({result.get('speedup_vs_event', 0):.2f}x slower loop")
+            generation = result.get("generation_seconds")
+            if generation is not None:
+                line += f", kernel generated in {generation:.2f}s"
+            lines.append(line + ")")
         sampled = result.get("sampled")
         if sampled:
             lines.append(
@@ -208,10 +254,19 @@ def check_floor(
     record: Optional[dict],
     current: dict,
     scheme: str = "sharing",
-    tolerance: float = 0.25,
+    tolerance: float = 0.35,
 ) -> tuple[bool, str]:
     """CI guard: ``scheme`` must stay within ``tolerance`` of the committed
-    throughput.  Returns (ok, message)."""
+    throughput.  Returns (ok, message).
+
+    The tolerance covers both machine variance and a systematic scale
+    effect: the committed record is measured at the 20k-inst full scale,
+    where the generated kernel's busy-stall skip amortises better than
+    in the 8k-inst ``--quick`` run (~20% per-instruction gap).  The
+    floor still catches the regression that matters most — kernels
+    silently falling back to the event loop runs at under half the
+    committed throughput.
+    """
     committed = ((record or {}).get("current") or {}).get("schemes", {})
     reference = committed.get(scheme, {}).get("insts_per_sec")
     if not reference:
@@ -244,7 +299,11 @@ def check_sampled_floor(
     sampled = result.get("sampled")
     if not sampled:
         return True, f"no sampled measurement for {scheme!r}; floor skipped"
-    speedup = sampled["insts_per_sec"] / result["insts_per_sec"]
+    # compare against the event loop (the loop the sampling engine's
+    # windows were calibrated against), not the generated kernel —
+    # otherwise a faster exact loop would read as a sampling regression
+    reference = result.get("event", result)
+    speedup = sampled["insts_per_sec"] / reference["insts_per_sec"]
     if speedup < floor:
         return False, (
             f"sampled {scheme} runs only {speedup:.2f}x faster than exact "

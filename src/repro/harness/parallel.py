@@ -274,6 +274,38 @@ class SweepJournal:
 
 
 # ------------------------------------------------------------------ execution
+def _prewarm_kernels(points: list[SweepPoint], pending: list[int]) -> None:
+    """Generate and cache each distinct cycle kernel once, in the parent.
+
+    Sweep workers share kernels through the fingerprint-keyed on-disk
+    cache; generating up front means N workers hitting the same
+    (scheme, config) pair load one compiled module instead of each
+    paying generation, and a cold pool does no generation at all.
+    Resolution failures are ignored — the affected points simply fall
+    back to the event loop in their workers, same semantics.
+    """
+    try:
+        from repro.codegen import kernels_enabled, load_kernel
+        from repro.codegen.fingerprint import kernel_fingerprint
+        from repro.harness.runner import make_config
+    except Exception:
+        return
+    if not kernels_enabled():
+        return
+    seen: set[str] = set()
+    for index in pending:
+        point = points[index]
+        try:
+            config = make_config(point.profile, point.scheme, point.size)
+            fingerprint = kernel_fingerprint(config)
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            load_kernel(config)
+        except Exception:
+            continue
+
+
 def run_points(
     points: Iterable[SweepPoint],
     jobs: Optional[int] = None,
@@ -340,6 +372,8 @@ def run_points(
 
     if not pending:
         return results  # type: ignore[return-value]
+
+    _prewarm_kernels(points, pending)
 
     if timeout is not None:
         # enforcing a wall-clock bound needs killable workers, even for

@@ -3,7 +3,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.core.conventional import ConventionalRenamer
@@ -166,6 +166,15 @@ class MachineConfig:
             }
             object.__setattr__(self, "_opcode_table", table)
         return table
+
+    def kernel_payload(self) -> dict:
+        """Every config field, as plain data, for kernel fingerprinting.
+
+        ``dataclasses.asdict`` recurses into the hierarchy config and
+        copies the fu_config dict, so any field edit — including nested
+        ones — changes the generated-kernel cache key.
+        """
+        return asdict(self)
 
     # ------------------------------------------------------------------ factories
     def make_renamer(self) -> BaseRenamer:

@@ -75,6 +75,7 @@ class Processor:
         oracle=False,
         keep_trace: bool = False,
         naive_loop: Optional[bool] = None,
+        kernel: Optional[bool] = None,
         recycle=None,
         branch_unit: Optional[BranchUnit] = None,
         hierarchy=None,
@@ -147,6 +148,11 @@ class Processor:
         if naive_loop is None:
             naive_loop = os.environ.get("REPRO_NAIVE_LOOP", "") not in ("", "0")
         self._naive_loop = naive_loop
+        if kernel is None:
+            kernel = os.environ.get("REPRO_NO_KERNEL", "") in ("", "0")
+        self._use_kernel = bool(kernel)
+        #: which cycle loop run() actually used: "naive" | "generated" | "event"
+        self.loop_used: Optional[str] = None
         # committed instructions may be returned to a DynInstPool, but only
         # when nothing downstream can still hold a reference to them
         self._recycle = recycle if (
@@ -226,8 +232,12 @@ class Processor:
     # ------------------------------------------------------------------ main loop
     def run(self, max_insts: Optional[int] = None) -> SimStats:
         if self._naive_loop:
+            self.loop_used = "naive"
             self._run_naive(max_insts)
+        elif self._use_kernel:
+            self._run_generated(max_insts)
         else:
+            self.loop_used = "event"
             self._run_event(max_insts)
         self._finalize()
         # final unconditional invariant check: the interval hook only fires
@@ -277,6 +287,42 @@ class Processor:
                 self._watchdog_abort(
                     f"pipeline deadlock: no progress for "
                     f"{self.cycle - self._last_progress} cycles")
+
+    def _run_generated(self, max_insts: Optional[int]) -> None:
+        """Run the code-generated kernel for this (scheme, config) pair.
+
+        Fallback ladder: generated -> event -> naive.  Kernel *resolution*
+        failures (unknown scheme, subclassed renamer, generation or compile
+        errors) silently fall back to the event loop — same semantics,
+        just slower.  Exceptions raised while a kernel is *running*
+        propagate: simulated state may be mid-cycle, so retrying on a
+        different loop would be wrong.
+        """
+        kernel = self._load_kernel()
+        if kernel is None:
+            self.loop_used = "event"
+            self._run_event(max_insts)
+            return
+        self.loop_used = "generated"
+        # the kernel allocates heavily but creates no reference cycles on
+        # its hot paths; pausing the cyclic collector is worth a few
+        # percent and cannot change simulated behavior
+        import gc
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            kernel(self, max_insts)
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    def _load_kernel(self):
+        try:
+            from repro.codegen import kernel_for
+        except Exception:
+            return None
+        return kernel_for(self.config, self.renamer)
 
     def _run_event(self, max_insts: Optional[int]) -> None:
         """Event-driven cycle loop: skip runs of provably-quiet cycles.

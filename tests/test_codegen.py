@@ -1,0 +1,194 @@
+"""Kernel cache lifecycle: fingerprints, corruption, kill switches.
+
+The correctness of the generated kernels themselves is covered by the
+three-way oracle in ``test_event_loop.py`` and by ``tools/kernel_smoke``;
+this module tests the machinery *around* them — that the fingerprint
+tracks everything a kernel depends on, that a damaged cache entry is a
+miss rather than a crash, and that every opt-out path really lands on
+the event loop.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.codegen import (
+    KernelCache,
+    default_kernel_dir,
+    kernel_fingerprint,
+    kernel_for,
+    kernels_enabled,
+    load_kernel,
+)
+from repro.codegen.cache import _KERNEL_MEMO
+from repro.core.conventional import ConventionalRenamer
+from repro.isa.executor import FunctionalExecutor
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import IterSource, Processor
+from repro.verify.fuzz import generate
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every test gets a private on-disk cache and a cold memo."""
+    monkeypatch.setenv("REPRO_KERNEL_DIR", str(tmp_path / "kernels"))
+    monkeypatch.delenv("REPRO_NO_KERNEL", raising=False)
+    saved = dict(_KERNEL_MEMO)
+    _KERNEL_MEMO.clear()
+    yield
+    _KERNEL_MEMO.clear()
+    _KERNEL_MEMO.update(saved)
+
+
+def _processor(scheme="conventional", seed=0, **kwargs):
+    program = generate(seed, size=30).build()
+    executor = FunctionalExecutor(program)
+    config = MachineConfig(scheme=scheme, verify_values=False)
+    return Processor(config, IterSource(executor.run(10_000_000)), **kwargs)
+
+
+# --------------------------------------------------------------------------
+# fingerprints
+
+def test_fingerprint_is_stable():
+    config = MachineConfig(scheme="sharing")
+    assert kernel_fingerprint(config) == kernel_fingerprint(config)
+    same = MachineConfig(scheme="sharing")
+    assert kernel_fingerprint(config) == kernel_fingerprint(same)
+
+
+def test_fingerprint_tracks_scheme_and_config():
+    base = MachineConfig(scheme="sharing")
+    keys = {
+        kernel_fingerprint(base),
+        kernel_fingerprint(MachineConfig(scheme="conventional")),
+        kernel_fingerprint(MachineConfig(scheme="sharing", rob_size=64)),
+        kernel_fingerprint(MachineConfig(scheme="sharing", fetch_width=2)),
+    }
+    assert len(keys) == 4, "scheme/config changes must change the kernel key"
+
+
+def test_fingerprint_tracks_simulator_source(monkeypatch):
+    """Editing any repro module must invalidate cached kernels."""
+    import repro.harness.cache as harness_cache
+
+    config = MachineConfig(scheme="sharing")
+    before = kernel_fingerprint(config)
+    monkeypatch.setattr(harness_cache, "code_fingerprint",
+                        lambda: "deadbeef-post-edit")
+    assert kernel_fingerprint(config) != before
+
+
+# --------------------------------------------------------------------------
+# on-disk cache
+
+def test_kernel_cache_roundtrip():
+    config = MachineConfig(scheme="conventional", verify_values=False)
+    cache = KernelCache()
+    load_kernel(config, cache=cache)
+    key = kernel_fingerprint(config)
+    assert cache.path_for(key).exists()
+    assert cache.misses == 1 and cache.hits == 0
+
+    # a fresh process (cleared memo) reloads from disk without regenerating
+    _KERNEL_MEMO.clear()
+    reload_cache = KernelCache()
+    load_kernel(config, cache=reload_cache)
+    assert reload_cache.hits == 1 and reload_cache.misses == 0
+
+
+@pytest.mark.parametrize("damage", ["truncate", "no_header", "garbage"])
+def test_corrupt_cache_entry_is_a_miss(damage):
+    config = MachineConfig(scheme="conventional", verify_values=False)
+    cache = KernelCache()
+    load_kernel(config, cache=cache)
+    key = kernel_fingerprint(config)
+    path = cache.path_for(key)
+    text = path.read_text()
+    if damage == "truncate":
+        path.write_text(text[: len(text) // 2])
+    elif damage == "no_header":
+        path.write_text("\n".join(text.splitlines()[1:]) + "\n")
+    else:
+        path.write_text("this is not python {{{\n")
+
+    _KERNEL_MEMO.clear()
+    fresh = KernelCache()
+    assert fresh.load_source(key) is None, "damaged entry must read as a miss"
+    assert not path.exists(), "damaged entry must be unlinked"
+
+    # and load_kernel regenerates a working kernel straight through it
+    _KERNEL_MEMO.clear()
+    fn = load_kernel(config, cache=KernelCache())
+    assert callable(fn)
+    assert path.exists()
+
+
+def test_default_kernel_dir_honours_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_DIR", str(tmp_path / "elsewhere"))
+    assert default_kernel_dir() == tmp_path / "elsewhere"
+
+
+# --------------------------------------------------------------------------
+# kill switches and fallback
+
+def test_no_kernel_env_var_forces_event_loop(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_KERNEL", "1")
+    assert not kernels_enabled()
+    proc = _processor("sharing")
+    proc.run()
+    assert proc.loop_used == "event"
+
+
+def test_kernel_false_param_forces_event_loop():
+    proc = _processor("sharing", kernel=False)
+    proc.run()
+    assert proc.loop_used == "event"
+
+
+def test_kernel_runs_by_default():
+    proc = _processor("sharing")
+    proc.run()
+    assert proc.loop_used == "generated"
+
+
+def test_subclassed_renamer_falls_back_to_event_loop():
+    """A renamer subclass may override hooks the kernel inlined away, so
+    exact-class dispatch must refuse it even though isinstance passes."""
+
+    class InstrumentedRenamer(ConventionalRenamer):
+        pass
+
+    config = MachineConfig(scheme="conventional", verify_values=False)
+    assert kernel_for(config, ConventionalRenamer) is not None
+    assert kernel_for(config, InstrumentedRenamer) is None
+
+
+def test_monkeypatched_renamer_method_falls_back_to_event_loop():
+    """Instance-level method overrides (oracle tests spy on .write) would
+    be bypassed by the kernel's inlined fast paths, so the exact-class
+    check extends to the instance __dict__."""
+    proc = _processor("conventional")
+    real_write = proc.renamer.write
+    seen = []
+
+    def spy(tag, value):
+        seen.append(tag)
+        real_write(tag, value)
+
+    proc.renamer.write = spy
+    proc.run()
+    assert proc.loop_used == "event"
+    assert seen, "the patched write hook must actually be exercised"
+
+
+def test_generated_matches_event_without_hooks():
+    """No on_commit hook => the kernel takes its inline fast-commit path;
+    it must still report identical stats to the event loop."""
+    event = _processor("sharing", seed=3, kernel=False)
+    event.run()
+    gen = _processor("sharing", seed=3)
+    gen.run()
+    assert gen.loop_used == "generated"
+    assert dataclasses.asdict(gen.stats) == dataclasses.asdict(event.stats)
+    assert gen.renamer.stats == event.renamer.stats

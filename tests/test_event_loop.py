@@ -1,14 +1,15 @@
-"""Event-driven cycle loop vs the naive reference loop.
+"""Cycle-loop oracle: generated kernel vs event loop vs naive loop.
 
 The processor's event-driven kernel (quiet-cycle skipping, bulk idle
-accounting) must be an *invisible* optimisation: for any program, scheme
-and variant, the SimStats and the committed-instruction stream must be
-bit-for-bit identical to the naive one-iteration-per-cycle loop kept as
-the ``REPRO_NAIVE_LOOP=1`` fallback.
+accounting) and the code-generated per-config kernels must both be
+*invisible* optimisations: for any program, scheme and variant, the
+SimStats and the committed-instruction stream must be bit-for-bit
+identical across all three loops — the naive one-iteration-per-cycle
+loop kept as the ``REPRO_NAIVE_LOOP=1`` fallback, the event loop, and
+the generated kernel.
 """
 
 import dataclasses
-import os
 
 import pytest
 
@@ -20,7 +21,14 @@ PROGRAMS = 20
 SIZE = 40
 
 
-def _run(program, cfg, variant, naive: bool):
+@pytest.fixture(scope="module")
+def kernel_dir(tmp_path_factory):
+    """One kernel cache for the whole module: each distinct fuzz config
+    generates its kernel once, later tests reload it from disk."""
+    return tmp_path_factory.mktemp("kernels")
+
+
+def _run(program, cfg, variant, loop: str):
     commits = []
     fault_model = FirstTouchFaults(limit=4) if variant == "faults" else None
     executor = FunctionalExecutor(program, fault_model=fault_model)
@@ -28,28 +36,37 @@ def _run(program, cfg, variant, naive: bool):
         cfg, IterSource(executor.run(10_000_000)),
         fault_model=fault_model,
         on_commit=lambda _p, d: commits.append((d.seq, d.pc, d.op, d.result)),
-        naive_loop=naive,
+        naive_loop=(loop == "naive"),
+        kernel=(loop == "generated"),
     )
     processor.run()
     return dataclasses.asdict(processor.stats), commits, processor
 
 
 @pytest.mark.parametrize("seed", range(PROGRAMS))
-def test_event_loop_matches_naive(seed):
+def test_loops_match(seed, kernel_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_DIR", str(kernel_dir))
     fuzz_program = generate(seed, size=SIZE)
     program = fuzz_program.build()
     for scheme in schemes_for(fuzz_program.variant):
         cfg = fuzz_config(scheme, fuzz_program.variant)
         naive_stats, naive_commits, _ = _run(
-            program, cfg, fuzz_program.variant, naive=True)
+            program, cfg, fuzz_program.variant, loop="naive")
         event_stats, event_commits, proc = _run(
-            program, cfg, fuzz_program.variant, naive=False)
-        assert event_stats == naive_stats, (
-            f"SimStats diverged for seed={seed} scheme={scheme} "
-            f"variant={fuzz_program.variant}")
+            program, cfg, fuzz_program.variant, loop="event")
+        generated_stats, generated_commits, gen_proc = _run(
+            program, cfg, fuzz_program.variant, loop="generated")
+        context = (f"seed={seed} scheme={scheme} "
+                   f"variant={fuzz_program.variant}")
+        assert event_stats == naive_stats, f"SimStats diverged for {context}"
         assert event_commits == naive_commits, (
-            f"commit stream diverged for seed={seed} scheme={scheme} "
-            f"variant={fuzz_program.variant}")
+            f"commit stream diverged for {context}")
+        assert gen_proc.loop_used == "generated", (
+            f"kernel did not engage for {context}")
+        assert generated_stats == event_stats, (
+            f"generated-kernel SimStats diverged for {context}")
+        assert generated_commits == event_commits, (
+            f"generated-kernel commit stream diverged for {context}")
         # the skip counter is observability, not simulated state
         assert proc.cycles_skipped >= 0
         assert "cycles_skipped" not in event_stats
