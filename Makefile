@@ -4,8 +4,8 @@ PYTHON ?= python
 JOBS ?= 4
 
 .PHONY: install test bench bench-parallel bench-full bench-floor repro \
-	examples cache-smoke sampling-smoke kernel-smoke verify fuzz \
-	fuzz-smoke faults-smoke faults golden lint-goldens clean
+	examples cache-smoke sampling-smoke kernel-smoke ports-smoke verify \
+	fuzz fuzz-smoke faults-smoke faults golden lint-goldens clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,6 +34,11 @@ sampling-smoke:
 # loop, sharing kernel >= 2x faster (same process, same machine)
 kernel-smoke:
 	$(PYTHON) tools/kernel_smoke.py
+
+# read-port-reduction schemes: both schemes on two profiles, three-way
+# loop identity + commit-time oracle, port counters exercised
+ports-smoke:
+	$(PYTHON) tools/ports_smoke.py
 
 # oracle-checked kernel battery: every scheme, lockstep vs the golden model
 verify:

@@ -82,6 +82,75 @@ def banked_rf_area(
     return main + shadow_cells_area(config.total_shadow_cells, bits)
 
 
+# ---- read-port-reduction schemes (arXiv 2502.00147) -------------------------
+#: flat read ports modelled for the bypass-filter scheme (half of the
+#: conventional 8: most operands arrive on the bypass network)
+BYPASS_FILTER_READ_PORTS = READ_PORTS // 2
+
+
+def bypass_filter_overhead_area(
+    iq_entries: int = 40,
+    bypass_depth: int = 1,
+    tag_bits: int = 10,
+) -> float:
+    """Bypass-filter control overhead, in mm².
+
+    Each issue slot compares up to three source tags against the last
+    ``bypass_depth`` cycles of writeback tags (CAM match against the
+    bypass bus), deciding per operand whether a physical read port is
+    needed.
+    """
+    bits = iq_entries * 3 * tag_bits * max(bypass_depth, 1)
+    return bits * _CAM_BIT / _UM2_PER_MM2
+
+
+def banked_arbiter_overhead_area(
+    banks: int = 4,
+    ports_per_bank: int = 2,
+    iq_entries: int = 40,
+) -> float:
+    """Banked-read arbiter overhead, in mm².
+
+    Per-bank demand counters plus grant/select logic, and a small delay
+    field per issue-queue entry for the scheduled read slot.
+    """
+    bits = banks * (8 + 4 * ports_per_bank) + iq_entries * 4
+    return bits * _SRAM_BIT / _UM2_PER_MM2
+
+
+def port_scheme_rf_area(
+    scheme: str,
+    num_regs: int,
+    bits: int = 64,
+    *,
+    banks: int = 4,
+    ports_per_bank: int = 2,
+    bypass_depth: int = 1,
+    iq_entries: int = 40,
+    write_ports: int = WRITE_PORTS,
+) -> float:
+    """Register file + control overhead under a port-reduction scheme, mm².
+
+    ``bypass_filter`` keeps a flat file at half the read ports;
+    ``banked_arbiter`` prices the per-bank cell (each bank's bit cells
+    see only that bank's read ports, plus all write ports).  ``none`` is
+    the conventional 8R/4W file, so :func:`repro.area.equal_area` can
+    treat every scheme uniformly.
+    """
+    if scheme == "none":
+        return register_file_area(num_regs, bits, READ_PORTS, write_ports)
+    if scheme == "bypass_filter":
+        return (register_file_area(num_regs, bits,
+                                   BYPASS_FILTER_READ_PORTS, write_ports)
+                + bypass_filter_overhead_area(iq_entries, bypass_depth))
+    if scheme == "banked_arbiter":
+        return (register_file_area(num_regs, bits,
+                                   ports_per_bank, write_ports)
+                + banked_arbiter_overhead_area(banks, ports_per_bank,
+                                               iq_entries))
+    raise ValueError(f"unknown port scheme {scheme!r}")
+
+
 # ---- overhead structures (Table II rows) ------------------------------------
 def prt_area(num_regs: int = 128, counter_bits: int = 2) -> float:
     """PRT: one Read bit + N-bit counter per physical register, in mm²."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.area.cacti_lite import (
     banked_rf_area,
+    port_scheme_rf_area,
     register_file_area,
     total_overhead_area,
 )
@@ -65,6 +66,34 @@ def equal_area_banks(baseline_regs: int, bits: int = 64) -> tuple[int, int, int,
     while proposed_area((n0 + 1, s, s, s), bits) <= budget:
         n0 += 1
     return (n0, s, s, s)
+
+
+def equal_area_regs(
+    baseline_regs: int,
+    scheme: str,
+    bits: int = 64,
+    **scheme_kwargs,
+) -> int:
+    """Largest register count a port-reduced file can hold at equal area.
+
+    A port-reduction scheme (``repro.core.read_ports``) shrinks every bit
+    cell, so at the conventional baseline's area budget the same file can
+    hold *more* registers.  This is the conventional-baseline analogue of
+    :func:`equal_area_banks`: the saved port area is converted back into
+    extra rename registers so the comparison against the paper's sharing
+    scheme stays equal-area.  ``scheme == 'none'`` returns the baseline
+    unchanged.
+    """
+    if scheme == "none":
+        return baseline_regs
+    budget = baseline_area(baseline_regs, bits)
+    if port_scheme_rf_area(scheme, baseline_regs, bits, **scheme_kwargs) > budget:
+        # degenerate calibration (overheads dominate): never shrink
+        return baseline_regs
+    n = baseline_regs
+    while port_scheme_rf_area(scheme, n + 1, bits, **scheme_kwargs) <= budget:
+        n += 1
+    return n
 
 
 def validate_table3(table3: dict[int, tuple[int, int, int, int]], bits: int = 64):

@@ -397,8 +397,8 @@ def cmd_figures(args) -> int:
     from dataclasses import replace
 
     from repro.harness import (figure1, figure2, figure3, figure9, figure10,
-                               figure11, figure12, headline, table1,
-                               table2_result, table3)
+                               figure11, figure12, figure_ports, headline,
+                               table1, table2_result, table3)
     # --exact/--sampling override whatever REPRO_SAMPLING put in the Scale
     scale = replace(Scale.from_env(), sampling=_resolve_sampling(args))
     wanted = set(args.which) or {"all"}
@@ -417,7 +417,8 @@ def cmd_figures(args) -> int:
                     ("fig9", figure9)):
         if want(key):
             print(fn(scale).render(), "\n")
-    for key, fn in (("fig11", figure11), ("fig12", figure12)):
+    for key, fn in (("fig11", figure11), ("fig12", figure12),
+                    ("ports", figure_ports)):
         if want(key):
             print(fn(scale, **engine).render(), "\n")
     if want("fig10"):
@@ -648,7 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("figures", help="regenerate tables/figures")
     p_fig.add_argument("which", nargs="*", default=[],
-                       help="tables fig1..fig12 headline (default: all)")
+                       help="tables fig1..fig12 ports headline (default: all)")
     _sweep_args(p_fig)
     _sampling_args(p_fig)
     p_fig.set_defaults(fn=cmd_figures)

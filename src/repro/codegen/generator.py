@@ -59,7 +59,7 @@ _FU_ORDER = ("alu", "mem", "fpu", "branch", "mul", "div", "fpdiv")
 
 #: bump when the generated code's shape or its contract with the
 #: simulator internals changes, so stale cached kernels read as misses
-GENERATOR_VERSION = 2
+GENERATOR_VERSION = 3
 
 
 class KernelUnavailable(RuntimeError):
@@ -842,6 +842,7 @@ def generate_kernel_source(config) -> str:
     II = config.interrupt_interval
     RP = config.rf_read_ports
     WP = config.rf_write_ports
+    PS = config.rf_port_scheme
     VV = config.verify_values
     MWP = config.model_wrong_path
     track_reads = scheme == "early"
@@ -926,6 +927,13 @@ last_progress = proc._last_progress
 """, "    "))
     if VV:
         L.append("    proc_verify = proc._verify_operands")
+    if PS != "none":
+        # read-port-reduction scheme active: the whole issue stage is
+        # delegated to the bound method (one implementation of the port
+        # plan/commit protocol, shared with the event and naive loops)
+        L.append("    proc_issue = proc._issue")
+    if PS == "bypass_filter":
+        L.append("    ports_note_write = proc.read_ports.note_writeback")
     for kind in unpipelined:
         L.append(f'    fus_slots_{kind} = fus._busy_until["{kind}"]')
     L.append(_scheme_hoists(scheme, "    "))
@@ -1049,6 +1057,8 @@ if rob_entries and rob_entries[0].completed:
     wb.append("            if _result is not None:")
     wb.append(_writeback_write_block(scheme, "                "))
     wb.append("            scoreboard[dt] = True")
+    if PS == "bypass_filter":
+        wb.append("            ports_note_write(dt, cycle)")
     wb.append("            _wl = iq_by_tag.pop(dt, None)")
     wb.append("            if _wl:")
     wb.append("                _ready = iq._ready")
@@ -1080,6 +1090,10 @@ if rob_entries and rob_entries[0].completed:
     B.append(_reindent("\n".join(wb), "        "))
 
     # ---- issue (ready_entries() inlined at the gate) --------------------
+    # With a read-port-reduction scheme active the whole stage is
+    # delegated to the bound Processor._issue (emitted below) so the port
+    # plan/commit protocol has exactly one implementation; the inline
+    # fast path built here is only emitted for rf_port_scheme == "none".
     iss: list[str] = []
     iss.append("_rl = iq._ready")
     iss.append("if _rl:")
@@ -1189,7 +1203,20 @@ if rob_entries and rob_entries[0].completed:
     iss.append("            stats.issued += 1")
     iss.append("            issued += 1")
     iss.append("            last_progress = cycle")
-    B.append(_reindent("\n".join(iss), "        "))
+    if PS == "none":
+        B.append(_reindent("\n".join(iss), "        "))
+    else:
+        # the mirror is flushed first because _issue writes
+        # proc._last_progress: when nothing issues, the finally must read
+        # back the value just flushed, not a stale one
+        B.append(_reindent(f"""
+if iq._ready:
+{_reindent(_FLUSH, "    ")}
+    try:
+        proc_issue()
+    finally:
+        last_progress = proc._last_progress
+""", "        "))
 
     # ---- rename/dispatch ----------------------------------------------
     ren: list[str] = []
@@ -1257,6 +1284,12 @@ if cycle - last_progress > 200_000:
     skip.append("        continue")
     skip.append("    if last_progress == cycle:")
     skip.append("        continue")
+    if PS != "none":
+        # a ready entry denied a port grant charges rf_port_stalls every
+        # cycle it retries; bulk-skipping such a window would miss those
+        # increments, so under a port scheme only entry-free windows skip
+        skip.append("    if iq._ready and iq_ready_entries():")
+        skip.append("        continue")
     skip.append("    if not (fetch._waiting_branch_seq is not None")
     skip.append(f"            or (len(fetch_queue) >= {QS}")
     skip.append("                and fetch._resume_at is None")

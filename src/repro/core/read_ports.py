@@ -1,0 +1,294 @@
+"""Read-port-reduction schemes for the physical register file.
+
+The source paper's equal-area comparison gives the conventional baseline
+a full 8-read-port register file.  "Efficient Read-Port-Count Reduction
+Schemes for the Centralized Physical Register File" (arXiv 2502.00147)
+shows that much of that port area is wasted: most operands are caught on
+the bypass network, and the reads that do reach the file cluster poorly
+enough that a banked file with a small arbiter loses little performance.
+This module implements both levers as an issue-stage layer the pipeline
+composes with :class:`~repro.core.register_file.BankedRegisterFile`:
+
+* ``bypass_filter`` — operands whose producer wrote back within the
+  last ``rf_bypass_depth`` cycles are satisfied from the bypass network
+  and never claim a physical read port; the remaining reads contend for
+  a *halved* flat port budget (``rf_read_ports``).
+* ``banked_arbiter`` — the register file is split into
+  ``rf_read_banks`` banks of ``rf_bank_read_ports`` read ports each
+  (bank = physical register number modulo bank count, per class).  A
+  cycle-accurate arbiter spreads each instruction's reads over up to
+  ``rf_max_read_delay`` extra cycles; demand that cannot be scheduled
+  within that window stalls the instruction in the issue queue.
+
+Both schemes expose one interface to the issue stage::
+
+    scheme.begin_cycle(cycle)            # once per issue cycle
+    plan = scheme.plan(dyn, cycle)       # None -> port stall, skip dyn
+    delay = scheme.commit(plan, stats)   # after FU grant; extra latency
+
+plus ``note_writeback(tag, cycle)`` (feeds the bypass tracker from the
+writeback stage) and ``flush()`` (pipeline squash).  ``plan`` never
+mutates state, so a rejected or FU-stalled instruction leaves no trace;
+``commit`` does all accounting (``SimStats.rf_port_*`` counters).
+
+Deadlock freedom: the arbiter always grants an instruction whose
+demanded banks are all *fresh* (no reads committed this cycle), even
+when its intrinsic demand exceeds the delay window — combined with the
+oldest-first ready list this guarantees the head instruction issues, so
+a port conflict can only defer work, never wedge the pipeline.  The same
+rule means a cycle in which *nothing* issues charges no port stalls,
+which keeps the event loop's quiet-cycle skip and the generated kernels'
+busy-stall skip bit-identical to the naive reference loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: the recognised values of ``MachineConfig.rf_port_scheme``
+PORT_SCHEMES = ("none", "bypass_filter", "banked_arbiter")
+
+
+class BypassTracker:
+    """Recent writeback tags, queryable as "is this operand on the bypass
+    network?".
+
+    Keeps one tag set per cycle for the last ``depth`` cycles; stale
+    cycles are pruned lazily when a new cycle's set is created, so
+    skipped quiet windows cost nothing.  ``depth <= 0`` disables
+    bypassing entirely (every read charges a port).
+    """
+
+    __slots__ = ("depth", "_by_cycle")
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+        self._by_cycle: dict[int, set] = {}
+
+    def note_write(self, tag, cycle: int) -> None:
+        if self.depth <= 0:
+            return
+        bucket = self._by_cycle.get(cycle)
+        if bucket is None:
+            bucket = self._by_cycle[cycle] = set()
+            horizon = cycle - self.depth
+            for old in [c for c in self._by_cycle if c <= horizon]:
+                del self._by_cycle[old]
+        bucket.add(tag)
+
+    def is_bypassed(self, tag, cycle: int) -> bool:
+        """True when ``tag`` wrote back within ``depth`` cycles of
+        ``cycle`` (writeback runs before issue within a cycle, so depth 1
+        covers same-cycle forwarding)."""
+        if self.depth <= 0:
+            return False
+        by_cycle = self._by_cycle
+        for c in range(cycle - self.depth + 1, cycle + 1):
+            bucket = by_cycle.get(c)
+            if bucket is not None and tag in bucket:
+                return True
+        return False
+
+    def flush(self) -> None:
+        self._by_cycle.clear()
+
+
+class BankPortArbiter:
+    """Cycle-accurate read-port arbiter for a banked register file.
+
+    Tracks per-(class, bank) read demand within the current cycle.  For
+    a candidate instruction, :meth:`plan` computes the extra read latency
+    its worst bank would need — demand already committed this cycle plus
+    its own reads, spread over ``ports_per_bank`` reads per cycle::
+
+        delay(bank) = ceil((used + wanted) / ports) - 1
+
+    and denies the grant (returns None) when that exceeds ``max_delay``,
+    *unless* every demanded bank is still fresh this cycle (the
+    head-of-line progress guarantee — see the module docstring).
+    :meth:`commit` claims the ports and returns the charged delay.
+    """
+
+    __slots__ = ("banks", "ports", "max_delay", "_used", "_cycle")
+
+    def __init__(self, banks: int, ports_per_bank: int,
+                 max_delay: int) -> None:
+        if banks < 1 or ports_per_bank < 1:
+            raise ValueError("banked arbiter needs >= 1 bank and port")
+        self.banks = banks
+        self.ports = ports_per_bank
+        self.max_delay = max_delay
+        self._used: dict[tuple, int] = {}
+        self._cycle = -1
+
+    def begin_cycle(self, cycle: int) -> None:
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._used.clear()
+
+    def plan(self, tags) -> Optional[tuple]:
+        """``(delay, demand)`` for reading ``tags`` this cycle, or None.
+
+        ``demand`` maps (class, bank) -> read count; ``delay`` is the
+        worst bank's extra latency.  Pure — commits nothing.
+        """
+        banks = self.banks
+        demand: dict[tuple, int] = {}
+        for tag in tags:
+            key = (tag[0], tag[1] % banks)
+            demand[key] = demand.get(key, 0) + 1
+        if not demand:
+            return (0, demand)
+        used = self._used
+        ports = self.ports
+        worst = 0
+        fresh = True
+        for key, wanted in demand.items():
+            prior = used.get(key, 0)
+            if prior:
+                fresh = False
+            delay = (prior + wanted + ports - 1) // ports - 1
+            if delay > worst:
+                worst = delay
+        if worst > self.max_delay and not fresh:
+            return None
+        return (worst, demand)
+
+    def commit(self, plan: tuple) -> int:
+        delay, demand = plan
+        used = self._used
+        for key, wanted in demand.items():
+            used[key] = used.get(key, 0) + wanted
+        return delay
+
+
+class BypassFilterPorts:
+    """``rf_port_scheme="bypass_filter"``: bypass-aware port filtering.
+
+    Operands on the bypass network read nothing; the rest contend for
+    the flat ``rf_read_ports`` budget per register class per cycle (the
+    same accounting the raw ``rf_read_ports`` knob applies, minus the
+    bypassed reads — which is exactly what lets the area model halve the
+    port count).
+    """
+
+    scheme = "bypass_filter"
+
+    __slots__ = ("read_ports", "tracker", "_used")
+
+    def __init__(self, read_ports: Optional[int], bypass_depth: int) -> None:
+        self.read_ports = read_ports
+        self.tracker = BypassTracker(bypass_depth)
+        self._used = [0, 0]
+
+    def begin_cycle(self, cycle: int) -> None:
+        self._used[0] = 0
+        self._used[1] = 0
+
+    def plan(self, dyn, cycle: int) -> Optional[tuple]:
+        tracker = self.tracker
+        n0 = n1 = bypassed = 0
+        for tag in dyn.src_tags:
+            if tracker.is_bypassed(tag, cycle):
+                bypassed += 1
+            elif tag[0]:
+                n1 += 1
+            else:
+                n0 += 1
+        read_ports = self.read_ports
+        if read_ports is not None:
+            used = self._used
+            if used[0] + n0 > read_ports or used[1] + n1 > read_ports:
+                return None
+        return (n0, n1, bypassed)
+
+    def commit(self, plan: tuple, stats) -> int:
+        n0, n1, bypassed = plan
+        used = self._used
+        used[0] += n0
+        used[1] += n1
+        stats.rf_port_reads += n0 + n1
+        stats.rf_bypass_reads += bypassed
+        return 0
+
+    def note_writeback(self, tag, cycle: int) -> None:
+        self.tracker.note_write(tag, cycle)
+
+    def flush(self) -> None:
+        self.tracker.flush()
+
+
+class BankedArbiterPorts:
+    """``rf_port_scheme="banked_arbiter"``: delayed/banked reads behind a
+    cycle-accurate port arbiter (stalls on over-window conflicts, charges
+    the residual delay as extra issue-to-complete latency)."""
+
+    scheme = "banked_arbiter"
+
+    __slots__ = ("arbiter",)
+
+    def __init__(self, banks: int, ports_per_bank: int,
+                 max_delay: int) -> None:
+        self.arbiter = BankPortArbiter(banks, ports_per_bank, max_delay)
+
+    def begin_cycle(self, cycle: int) -> None:
+        self.arbiter.begin_cycle(cycle)
+
+    def plan(self, dyn, cycle: int) -> Optional[tuple]:
+        return self.arbiter.plan(dyn.src_tags)
+
+    def commit(self, plan: tuple, stats) -> int:
+        delay = self.arbiter.commit(plan)
+        _, demand = plan
+        reads = 0
+        for wanted in demand.values():
+            reads += wanted
+        stats.rf_port_reads += reads
+        if delay:
+            stats.rf_delayed_reads += 1
+            stats.rf_delay_cycles += delay
+        return delay
+
+    def note_writeback(self, tag, cycle: int) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+
+def make_port_scheme(config):
+    """The port-scheme object for ``config``, or None for ``"none"``."""
+    scheme = config.rf_port_scheme
+    if scheme == "none":
+        return None
+    if scheme == "bypass_filter":
+        return BypassFilterPorts(config.rf_read_ports,
+                                 config.rf_bypass_depth)
+    if scheme == "banked_arbiter":
+        return BankedArbiterPorts(config.rf_read_banks,
+                                  config.rf_bank_read_ports,
+                                  config.rf_max_read_delay)
+    raise ValueError(f"unknown rf_port_scheme {scheme!r}; "
+                     f"expected one of {PORT_SCHEMES}")
+
+
+def apply_port_scheme(config, port_scheme: str):
+    """A copy of ``config`` running under ``port_scheme``.
+
+    This is the canonical experiment parameterisation: the bypass filter
+    halves the flat read-port budget (8 -> 4, matching the halved-port
+    area model in :mod:`repro.area.cacti_lite`); the banked arbiter uses
+    the config's bank/port/delay defaults (4 banks x 2 ports, one cycle
+    of slack).  ``"none"`` returns ``config`` unchanged.
+    """
+    from dataclasses import replace
+
+    if port_scheme == "none":
+        return config
+    if port_scheme == "bypass_filter":
+        return replace(config, rf_port_scheme="bypass_filter",
+                       rf_read_ports=4)
+    if port_scheme == "banked_arbiter":
+        return replace(config, rf_port_scheme="banked_arbiter")
+    raise ValueError(f"unknown rf_port_scheme {port_scheme!r}; "
+                     f"expected one of {PORT_SCHEMES}")

@@ -41,6 +41,7 @@ from repro.harness.figures import (
     figure10,
     figure11,
     figure12,
+    figure_ports,
 )
 from repro.harness.tables import table1, table2_result, table3
 from repro.harness.headline import headline
@@ -66,6 +67,7 @@ __all__ = [
     "figure10",
     "figure11",
     "figure12",
+    "figure_ports",
     "table1",
     "table2_result",
     "table3",

@@ -45,6 +45,12 @@ DEFAULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_cycleloop.json"
 
 BENCH_SCHEMES = ("conventional", "sharing", "early")
 
+#: extra rows measuring the read-port-reduction schemes' simulation cost;
+#: keyed "<scheme>+<port_scheme>" in the record (the banked arbiter runs
+#: a plan/commit protocol per issued instruction, so its throughput tax
+#: on the cycle loop is worth tracking)
+BENCH_PORT_ROWS = (("conventional", "banked_arbiter"),)
+
 #: sampling schedules used for the sampled benchmark rows; long periods
 #: keep most of the fast-forward outside the warming zone (where only the
 #: branch predictor is trained), which is where the speedup comes from
@@ -57,6 +63,13 @@ def _stream(profile: str, insts: int, seed: int) -> list:
                                   seed=seed))
 
 
+def _bench_config(scheme: str, port_scheme: str = "none") -> MachineConfig:
+    from repro.core.read_ports import apply_port_scheme
+
+    return apply_port_scheme(
+        MachineConfig(scheme=scheme, verify_values=False), port_scheme)
+
+
 def bench_scheme(
     scheme: str,
     profile: str = "hmmer",
@@ -64,6 +77,7 @@ def bench_scheme(
     seed: int = 1,
     reps: int = 3,
     kernel: bool = True,
+    port_scheme: str = "none",
 ) -> dict:
     """Throughput + allocation stats for one scheme.
 
@@ -79,7 +93,7 @@ def bench_scheme(
     one-time, cached cost; ``generation_seconds`` in the kernel row of
     :func:`run_bench` reports it separately).
     """
-    config = MachineConfig(scheme=scheme, verify_values=False)
+    config = _bench_config(scheme, port_scheme)
     best = float("inf")
     proc = None
     for _ in range(reps):
@@ -111,13 +125,14 @@ def bench_scheme(
     }
 
 
-def _generation_seconds(scheme: str) -> Optional[float]:
+def _generation_seconds(scheme: str,
+                        port_scheme: str = "none") -> Optional[float]:
     """Wall time to generate + compile one kernel from scratch (no cache)."""
     try:
         from repro.codegen import generate_kernel_source
     except Exception:
         return None
-    config = MachineConfig(scheme=scheme, verify_values=False)
+    config = _bench_config(scheme, port_scheme)
     try:
         start = time.perf_counter()
         source = generate_kernel_source(config)
@@ -134,6 +149,7 @@ def bench_sampled(
     seed: int = 1,
     reps: int = 3,
     spec: str = SAMPLING_FULL,
+    port_scheme: str = "none",
 ) -> dict:
     """Throughput + estimate quality for one scheme under interval sampling.
 
@@ -143,7 +159,7 @@ def bench_sampled(
     """
     from repro.pipeline.processor import simulate
 
-    config = MachineConfig(scheme=scheme, verify_values=False)
+    config = _bench_config(scheme, port_scheme)
     best = float("inf")
     stats = None
     for _ in range(reps):
@@ -179,30 +195,39 @@ def run_bench(
     reps = 2 if quick else 3
     spec = SAMPLING_QUICK if quick else SAMPLING_FULL
     results = {}
-    for scheme in schemes:
+
+    def measure(scheme: str, port_scheme: str = "none") -> dict:
         # primary row: the generated kernel (what `Processor.run` uses by
         # default); `event` sub-record: the interpreted event loop, for
         # the speedup figure and as the like-for-like reference of the
         # sampling comparison (the sampling engine is event-loop based)
         exact = bench_scheme(scheme, profile=profile, insts=insts,
-                             seed=seed, reps=reps, kernel=True)
+                             seed=seed, reps=reps, kernel=True,
+                             port_scheme=port_scheme)
         event = bench_scheme(scheme, profile=profile, insts=insts,
-                             seed=seed, reps=reps, kernel=False)
+                             seed=seed, reps=reps, kernel=False,
+                             port_scheme=port_scheme)
         exact["event"] = event
         exact["speedup_vs_event"] = round(
             exact["insts_per_sec"] / event["insts_per_sec"], 2)
-        generation = _generation_seconds(scheme)
+        generation = _generation_seconds(scheme, port_scheme)
         if generation is not None:
             exact["generation_seconds"] = generation
         sampled = bench_sampled(scheme, profile=profile, insts=insts,
-                                seed=seed, reps=reps, spec=spec)
+                                seed=seed, reps=reps, spec=spec,
+                                port_scheme=port_scheme)
         sampled["speedup_vs_exact"] = round(
             sampled["insts_per_sec"] / event["insts_per_sec"], 2)
         sampled["ipc_delta_pct"] = round(
             100.0 * (sampled["ipc"] / event["ipc"] - 1.0), 2) \
             if event["ipc"] else 0.0
         exact["sampled"] = sampled
-        results[scheme] = exact
+        return exact
+
+    for scheme in schemes:
+        results[scheme] = measure(scheme)
+    for scheme, port_scheme in BENCH_PORT_ROWS:
+        results[f"{scheme}+{port_scheme}"] = measure(scheme, port_scheme)
     return {
         "meta": {"profile": profile, "seed": seed, "insts": insts,
                  "reps": reps, "quick": quick, "sampling": spec},

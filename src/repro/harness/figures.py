@@ -11,6 +11,9 @@ figure's rows/series as text.  Figure numbering follows the paper:
   c: mediabench+cognitive)
 * Figure 11 — average IPC vs register-file size, both schemes
 * Figure 12 — register-type predictor accuracy breakdown
+* Ports      — read-port-reduction schemes as an extra equal-area axis
+  (not in the paper; compares the sharing scheme against conventional
+  baselines that spend their area budget on port reduction instead)
 """
 
 from __future__ import annotations
@@ -18,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis import analyze_chains, analyze_stream, measure_shadow_demand
-from repro.harness.parallel import SweepPoint, collect_stats, run_points
+from repro.harness.parallel import (SweepPoint, SweepError, collect_stats,
+                                    run_points)
 from repro.harness.render import pct, text_table
 from repro.harness.runner import Scale, geomean, sweep_speedups
 from repro.workloads.generator import SyntheticWorkload
@@ -282,6 +286,133 @@ def figure11(scale: Scale | None = None, *, jobs: int | None = None,
                 for p in profiles]
         result.baseline_ipc[size] = sum(base) / len(base)
         result.proposed_ipc[size] = sum(prop) / len(prop)
+    return result
+
+
+# ====================================================================== Ports
+#: (renamer scheme, port scheme) columns of the ports figure.  The three
+#: conventional baselines are equal-area: the port-reduced ones convert
+#: the saved port area into extra rename registers (repro.area.equal_area),
+#: so every column spends the same register-file budget differently.
+PORT_CONFIGS = (
+    ("conventional", "none"),
+    ("conventional", "bypass_filter"),
+    ("conventional", "banked_arbiter"),
+    ("sharing", "none"),
+)
+
+_PORT_REDUCED = ("bypass_filter", "banked_arbiter")
+
+
+@dataclass
+class FigurePortsResult:
+    sizes: tuple
+    #: (scheme, port_scheme, size) -> average IPC across the profiles
+    ipc: dict = field(default_factory=dict)
+    #: (port_scheme, size) -> (equal-area int regs, equal-area fp regs)
+    bonus: dict = field(default_factory=dict)
+    #: (port_scheme, size) -> summed port counters across the profiles:
+    #: {"stalls", "reads", "bypass", "delay", "insts"}
+    counters: dict = field(default_factory=dict)
+
+    def sharing_vs_best(self, size: int) -> float:
+        """Sharing-scheme IPC over the *best* port-reduced conventional
+        baseline at the same area — the figure's headline ratio."""
+        best = max(self.ipc[("conventional", ps, size)]
+                   for ps in _PORT_REDUCED)
+        return self.ipc[("sharing", "none", size)] / best if best else 1.0
+
+    def headline(self) -> float:
+        return geomean(self.sharing_vs_best(s) for s in self.sizes)
+
+    def render(self) -> str:
+        rows = []
+        for s in self.sizes:
+            rows.append([
+                s,
+                f"{self.ipc[('conventional', 'none', s)]:.3f}",
+                f"{self.ipc[('conventional', 'bypass_filter', s)]:.3f}",
+                f"{self.ipc[('conventional', 'banked_arbiter', s)]:.3f}",
+                f"{self.ipc[('sharing', 'none', s)]:.3f}",
+                pct(self.sharing_vs_best(s) - 1.0),
+            ])
+        ipc_table = text_table(
+            ["registers", "conv 8R", "conv+bypass", "conv+banked",
+             "sharing", "sharing vs best"],
+            rows,
+            title="Ports figure: average IPC at equal area, read-port "
+                  "reduction vs register sharing")
+        detail_rows = []
+        for ps in _PORT_REDUCED:
+            for s in self.sizes:
+                int_regs, fp_regs = self.bonus[(ps, s)]
+                c = self.counters[(ps, s)]
+                kinsts = c["insts"] / 1000.0 or 1.0
+                served = c["reads"] + c["bypass"]
+                detail_rows.append([
+                    ps, s, f"{int_regs}/{fp_regs}",
+                    f"{c['stalls'] / kinsts:.2f}",
+                    pct(c["bypass"] / served) if served else "-",
+                    f"{c['delay'] / kinsts:.2f}",
+                ])
+        detail_table = text_table(
+            ["port scheme", "registers", "equal-area regs (int/fp)",
+             "port stalls/kinst", "bypassed reads", "delay cycles/kinst"],
+            detail_rows,
+            title="Ports table: equal-area register bonus and port traffic "
+                  "(conventional baseline)")
+        return (ipc_table + "\n\n" + detail_table +
+                f"\nsharing vs best port-reduced baseline: "
+                f"{pct(self.headline() - 1.0)} (geomean over sizes)")
+
+
+def figure_ports(scale: Scale | None = None, *, jobs: int | None = None,
+                 cache=None, progress=None, **engine) -> FigurePortsResult:
+    """Does register sharing still win when the conventional baseline also
+    spends its area on port reduction?  Sweeps every PORT_CONFIGS column
+    over the specint+specfp profiles and the equal-area size axis."""
+    from repro.area.equal_area import equal_area_regs
+
+    scale = scale or Scale.from_env()
+    profiles = scale.profiles("specint") + scale.profiles("specfp")
+    points = [
+        SweepPoint(profile=profile, scheme=scheme, size=size,
+                   insts=scale.insts, seed=scale.seed,
+                   sampling=scale.sampling, port_scheme=port_scheme)
+        for size in scale.sizes
+        for profile in profiles
+        for scheme, port_scheme in PORT_CONFIGS
+    ]
+    results = run_points(points, jobs=jobs, cache=cache, progress=progress,
+                         **engine)
+    failures = [r for r in results if not r.ok]
+    if failures:
+        raise SweepError(failures)
+    # collect_stats keys on (benchmark, scheme, size, seed), which would
+    # collide across port schemes — index by zipping the ordered results
+    # back onto the ordered points instead
+    stats = {(p.benchmark, p.scheme, p.port_scheme, p.size): r.stats
+             for p, r in zip(points, results)}
+    result = FigurePortsResult(sizes=scale.sizes)
+    for size in scale.sizes:
+        for scheme, port_scheme in PORT_CONFIGS:
+            ipcs = [stats[(p.name, scheme, port_scheme, size)].ipc
+                    for p in profiles]
+            result.ipc[(scheme, port_scheme, size)] = sum(ipcs) / len(ipcs)
+        for port_scheme in _PORT_REDUCED:
+            result.bonus[(port_scheme, size)] = (
+                equal_area_regs(size, port_scheme, bits=64),
+                equal_area_regs(size, port_scheme, bits=128))
+            sums = {"stalls": 0, "reads": 0, "bypass": 0, "delay": 0,
+                    "insts": 0}
+            for p in profiles:
+                s = stats[(p.name, "conventional", port_scheme, size)]
+                sums["stalls"] += s.rf_port_stalls
+                sums["reads"] += s.rf_port_reads
+                sums["bypass"] += s.rf_bypass_reads
+                sums["delay"] += s.rf_delay_cycles
+                sums["insts"] += s.committed
+            result.counters[(port_scheme, size)] = sums
     return result
 
 

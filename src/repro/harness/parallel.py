@@ -68,6 +68,9 @@ class SweepPoint:
     #: ``PERIOD:WINDOW:WARMUP`` spec for interval-sampled execution, or
     #: None for exact simulation
     sampling: Optional[str] = None
+    #: register-file read-port-reduction scheme (repro.core.read_ports):
+    #: 'none' | 'bypass_filter' | 'banked_arbiter'
+    port_scheme: str = "none"
 
     @property
     def benchmark(self) -> str:
@@ -78,6 +81,8 @@ class SweepPoint:
                  f"/i{self.insts}/s{self.seed}")
         if self.sampling is not None:
             label += f"/sampled[{self.sampling}]"
+        if self.port_scheme != "none":
+            label += f"/ports[{self.port_scheme}]"
         return label
 
 
@@ -140,7 +145,8 @@ def simulate_point(point: SweepPoint):
     from repro.pipeline.processor import simulate
 
     workload = cached_stream(point.profile, point.insts, point.seed)
-    config = make_config(point.profile, point.scheme, point.size)
+    config = make_config(point.profile, point.scheme, point.size,
+                         port_scheme=point.port_scheme)
     if point.sampling is not None:
         # total_insts anchors the sampling schedule and scaling ratio
         return simulate(config, iter(workload), max_insts=point.insts,
@@ -187,7 +193,8 @@ def _key_for_point(point: SweepPoint, fingerprint: Optional[str]) -> str:
     from repro.harness.cache import point_key
     from repro.harness.runner import make_config  # avoid import cycle
 
-    config = make_config(point.profile, point.scheme, point.size)
+    config = make_config(point.profile, point.scheme, point.size,
+                         port_scheme=point.port_scheme)
     return point_key(config, point.profile, point.insts, point.seed,
                      fingerprint, sampling=point.sampling)
 
@@ -296,7 +303,8 @@ def _prewarm_kernels(points: list[SweepPoint], pending: list[int]) -> None:
     for index in pending:
         point = points[index]
         try:
-            config = make_config(point.profile, point.scheme, point.size)
+            config = make_config(point.profile, point.scheme, point.size,
+                                 port_scheme=point.port_scheme)
             fingerprint = kernel_fingerprint(config)
             if fingerprint in seen:
                 continue

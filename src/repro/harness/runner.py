@@ -76,10 +76,26 @@ def class_sizes(profile: WorkloadProfile, size: int) -> tuple[int, int]:
     return size, 128
 
 
-def make_config(profile: WorkloadProfile, scheme: str, size: int) -> MachineConfig:
+def make_config(profile: WorkloadProfile, scheme: str, size: int,
+                port_scheme: str = "none") -> MachineConfig:
     int_regs, fp_regs = class_sizes(profile, size)
-    return MachineConfig(scheme=scheme, int_regs=int_regs, fp_regs=fp_regs,
-                         verify_values=False)
+    if port_scheme != "none" and scheme == "conventional":
+        # equal-area conversion: a port-reduced file's smaller bit cells
+        # buy the conventional baseline extra rename registers at the
+        # same area budget (repro.area.equal_area).  The sharing scheme
+        # already spends its budget on shadow cells and overheads, so it
+        # keeps the swept size.
+        from repro.area.equal_area import equal_area_regs
+
+        int_regs = equal_area_regs(int_regs, port_scheme, bits=64)
+        fp_regs = equal_area_regs(fp_regs, port_scheme, bits=128)
+    config = MachineConfig(scheme=scheme, int_regs=int_regs, fp_regs=fp_regs,
+                           verify_values=False)
+    if port_scheme != "none":
+        from repro.core.read_ports import apply_port_scheme
+
+        config = apply_port_scheme(config, port_scheme)
+    return config
 
 
 def run_point(profile: WorkloadProfile, scheme: str, size: int,

@@ -139,6 +139,18 @@ class MachineConfig:
     rf_read_ports: Optional[int] = None
     rf_write_ports: Optional[int] = None
 
+    # read-port-reduction scheme on the register file (arXiv 2502.00147,
+    # repro.core.read_ports): 'none' | 'bypass_filter' | 'banked_arbiter'.
+    # bypass_filter exempts bypass-network operands from the rf_read_ports
+    # budget; banked_arbiter arbitrates rf_read_banks banks of
+    # rf_bank_read_ports reads each, charging up to rf_max_read_delay
+    # extra cycles before stalling issue.
+    rf_port_scheme: str = "none"
+    rf_read_banks: int = 4
+    rf_bank_read_ports: int = 2
+    rf_max_read_delay: int = 1
+    rf_bypass_depth: int = 1
+
     # verification of dataflow values at issue/writeback (disable for speed)
     verify_values: bool = True
 

@@ -24,6 +24,7 @@ import os
 from itertools import count
 from typing import Iterable, Optional, Union
 
+from repro.core.read_ports import make_port_scheme
 from repro.core.renamer import BaseRenamer, Tag
 from repro.core.sharing import SharingRenamer
 from repro.frontend.branch_predictor import BranchUnit
@@ -134,6 +135,8 @@ class Processor:
         self.iq = IssueQueue(config.iq_size)
         self.lsq = LoadStoreQueue(config.lq_size, config.sq_size)
         self.fus = FUPool(config.fu_config)
+        #: read-port-reduction scheme (repro.core.read_ports), or None
+        self.read_ports = make_port_scheme(config)
         self.scoreboard: dict[Tag, bool] = {}
         self.completion: list[tuple[int, int, DynInst]] = []
         self._ticket = count()
@@ -517,6 +520,8 @@ class Processor:
         self.iq.flush()
         self.lsq.flush()
         self.fus.flush()
+        if self.read_ports is not None:
+            self.read_ports.flush()
         self.completion.clear()
         self._rebuild_scoreboard()
         self.fetch.inject_replay(replay, self.cycle, penalty)
@@ -576,6 +581,7 @@ class Processor:
         if not completion or completion[0][0] > self.cycle:
             return  # nothing completes this cycle: stay allocation-free
         write_ports = self.config.rf_write_ports
+        ports = self.read_ports
         writes_used = [0, 0]  # per register class
         while self.completion and self.completion[0][0] <= self.cycle:
             _, _, dyn = heapq.heappop(self.completion)
@@ -595,6 +601,8 @@ class Processor:
                 if dyn.result is not None:
                     self.renamer.write(dyn.dest_tag, dyn.result)
                 self.scoreboard[dyn.dest_tag] = True
+                if ports is not None:
+                    ports.note_writeback(dyn.dest_tag, self.cycle)
                 self.iq_wakeup(dyn.dest_tag)
             if dyn.info.is_branch:
                 extra = 0
@@ -614,7 +622,14 @@ class Processor:
             return
         issued = 0
         issue_width = self.config.issue_width
-        read_ports = self.config.rf_read_ports
+        ports = self.read_ports
+        if ports is not None:
+            # port-reduction scheme active: it subsumes the flat
+            # rf_read_ports accounting (repro.core.read_ports)
+            ports.begin_cycle(self.cycle)
+            read_ports = None
+        else:
+            read_ports = self.config.rf_read_ports
         reads_used = [0, 0] if read_ports is not None else None
         for dyn in ready:
             if issued >= issue_width:
@@ -622,7 +637,12 @@ class Processor:
             info = dyn.info
             if info.is_load and not dyn.faults and not self.lsq.load_can_issue(dyn):
                 continue
-            if read_ports is not None:
+            if ports is not None:
+                plan = ports.plan(dyn, self.cycle)
+                if plan is None:
+                    self.stats.rf_port_stalls += 1
+                    continue  # bank/port conflict beyond the delay window
+            elif read_ports is not None:
                 needed = [0, 0]
                 for tag in dyn.src_tags:
                     needed[tag[0]] += 1
@@ -631,7 +651,9 @@ class Processor:
             latency = self.fus.try_issue(info.fu, self.cycle)
             if latency is None:
                 continue
-            if read_ports is not None:
+            if ports is not None:
+                port_delay = ports.commit(plan, self.stats)
+            elif read_ports is not None:
                 reads_used[0] += needed[0]
                 reads_used[1] += needed[1]
 
@@ -653,6 +675,8 @@ class Processor:
                 self.lsq.mark_issued(dyn)
             else:
                 total = latency
+            if ports is not None:
+                total += port_delay  # delayed banked reads (arbiter)
 
             if self.config.verify_values:
                 self._verify_operands(dyn)

@@ -38,6 +38,14 @@ class SimStats:
     # issue activity
     issued: int = 0
 
+    # register-file read-port schemes (repro.core.read_ports); all zero
+    # when rf_port_scheme is 'none'
+    rf_port_stalls: int = 0    # issue attempts denied a port grant
+    rf_port_reads: int = 0     # physical read ports actually claimed
+    rf_bypass_reads: int = 0   # operands satisfied from the bypass network
+    rf_delayed_reads: int = 0  # instructions charged extra read latency
+    rf_delay_cycles: int = 0   # total extra cycles charged by the arbiter
+
     # structure occupancy (accumulated every cycle)
     rob_occupancy_sum: int = 0
     iq_occupancy_sum: int = 0

@@ -44,6 +44,10 @@ from repro.isa.registers import RegRef, freg, reg, xreg
 #: All rename schemes the fuzzer exercises.
 ALL_SCHEMES = ("conventional", "sharing", "hinted", "early")
 
+#: Read-port schemes the fuzzer draws for each program (weighted toward
+#: 'none' so most of the corpus still stresses the rename schemes alone).
+PORT_SCHEMES = ("none", "bypass_filter", "banked_arbiter")
+
 #: Run variants: ``plain`` exercises every scheme; the others need precise
 #: state recovery (or wrong-path walk-back) and exclude early release.
 VARIANTS = ("plain", "faults", "interrupts", "wrong_path")
@@ -82,12 +86,16 @@ class FuzzProgram:
     variant: str = "plain"
     items: list = field(default_factory=list)
     note: str = ""
+    #: register-file read-port scheme (repro.core.read_ports) the case
+    #: runs under; old reproducers without the field load as 'none'
+    port_scheme: str = "none"
 
     # ------------------------------------------------------------ serialisation
     def to_json(self) -> str:
         return json.dumps(
             {"seed": self.seed, "variant": self.variant,
-             "items": self.items, "note": self.note},
+             "items": self.items, "note": self.note,
+             "port_scheme": self.port_scheme},
             indent=2,
         )
 
@@ -95,7 +103,8 @@ class FuzzProgram:
     def from_json(cls, text: str) -> "FuzzProgram":
         raw = json.loads(text)
         return cls(seed=raw["seed"], variant=raw["variant"],
-                   items=raw["items"], note=raw.get("note", ""))
+                   items=raw["items"], note=raw.get("note", ""),
+                   port_scheme=raw.get("port_scheme", "none"))
 
     def save(self, path) -> None:
         Path(path).write_text(self.to_json() + "\n")
@@ -107,7 +116,8 @@ class FuzzProgram:
     # ------------------------------------------------------------ shape helpers
     def replace_items(self, items: list) -> "FuzzProgram":
         return FuzzProgram(seed=self.seed, variant=self.variant,
-                           items=items, note=self.note)
+                           items=items, note=self.note,
+                           port_scheme=self.port_scheme)
 
     def instruction_count(self) -> int:
         """Static instruction count of the materialised body (no preamble)."""
@@ -316,7 +326,11 @@ def generate(seed: int, size: int = 40,
     # precise exception — so no TRAPs there (no other item can fault)
     items = [_random_item(rng, allow_trap=variant != "plain")
              for _ in range(size)]
-    return FuzzProgram(seed=seed, variant=variant, items=items)
+    # drawn *after* the items so every pre-existing seed still generates
+    # the identical program body (rng stream compatibility)
+    port_scheme = rng.choices(PORT_SCHEMES, weights=(2, 1, 1))[0]
+    return FuzzProgram(seed=seed, variant=variant, items=items,
+                       port_scheme=port_scheme)
 
 
 # -------------------------------------------------------------------- execution
@@ -333,16 +347,17 @@ class FuzzFailure(AssertionError):
         self.cause = cause
 
 
-def fuzz_config(scheme: str, variant: str):
+def fuzz_config(scheme: str, variant: str, port_scheme: str = "none"):
     """Pipeline configuration for fuzz runs.
 
     Small register files maximise reuse/release pressure; a tight cycle
     budget makes genuine failures (deadlock, livelock) fail fast so the
     shrinker stays quick.
     """
+    from repro.core.read_ports import apply_port_scheme
     from repro.pipeline.config import MachineConfig
 
-    return MachineConfig(
+    config = MachineConfig(
         scheme=scheme,
         int_regs=48,
         fp_regs=48,
@@ -352,6 +367,7 @@ def fuzz_config(scheme: str, variant: str):
         interrupt_interval=300 if variant == "interrupts" else None,
         max_cycles=60_000,
     )
+    return apply_port_scheme(config, port_scheme)
 
 
 def run_case(fp: FuzzProgram, schemes=ALL_SCHEMES) -> dict:
@@ -370,7 +386,7 @@ def run_case(fp: FuzzProgram, schemes=ALL_SCHEMES) -> dict:
     signatures: dict[str, list] = {}
     counts: dict[str, int] = {}
     for scheme in schemes_for(fp.variant, schemes):
-        config = fuzz_config(scheme, fp.variant)
+        config = fuzz_config(scheme, fp.variant, fp.port_scheme)
         record = CommitRecorder()
 
         try:

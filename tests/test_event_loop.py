@@ -72,6 +72,35 @@ def test_loops_match(seed, kernel_dir, monkeypatch):
         assert "cycles_skipped" not in event_stats
 
 
+@pytest.mark.parametrize("port_scheme", ["bypass_filter", "banked_arbiter"])
+@pytest.mark.parametrize("seed", range(4))
+def test_loops_match_port_schemes(seed, port_scheme, kernel_dir, monkeypatch):
+    """The three-way identity holds with a read-port scheme active, for
+    every renamer scheme the variant admits (repro.core.read_ports)."""
+    monkeypatch.setenv("REPRO_KERNEL_DIR", str(kernel_dir))
+    fuzz_program = generate(seed, size=SIZE)
+    program = fuzz_program.build()
+    for scheme in schemes_for(fuzz_program.variant):
+        cfg = fuzz_config(scheme, fuzz_program.variant, port_scheme)
+        naive_stats, naive_commits, _ = _run(
+            program, cfg, fuzz_program.variant, loop="naive")
+        event_stats, event_commits, _ = _run(
+            program, cfg, fuzz_program.variant, loop="event")
+        generated_stats, generated_commits, gen_proc = _run(
+            program, cfg, fuzz_program.variant, loop="generated")
+        context = (f"seed={seed} scheme={scheme} ports={port_scheme} "
+                   f"variant={fuzz_program.variant}")
+        assert event_stats == naive_stats, f"SimStats diverged for {context}"
+        assert event_commits == naive_commits, (
+            f"commit stream diverged for {context}")
+        assert gen_proc.loop_used == "generated", (
+            f"kernel did not engage for {context}")
+        assert generated_stats == event_stats, (
+            f"generated-kernel SimStats diverged for {context}")
+        assert generated_commits == event_commits, (
+            f"generated-kernel commit stream diverged for {context}")
+
+
 def test_env_var_selects_naive_loop(monkeypatch):
     monkeypatch.setenv("REPRO_NAIVE_LOOP", "1")
     fuzz_program = generate(0, size=SIZE)

@@ -31,6 +31,15 @@ POINTS = [
     # Figure 12: predictor accuracy, sharing at size 64
     ("fig12", SweepPoint(profile=BENCHMARKS["hmmer"], scheme="sharing",
                          size=64, insts=_SCALE.insts, seed=_SCALE.seed)),
+    # Ports figure: port-reduced equal-area conventional baselines
+    ("ports-bypass", SweepPoint(profile=BENCHMARKS["gcc"],
+                                scheme="conventional", size=_SCALE.sizes[1],
+                                insts=_SCALE.insts, seed=_SCALE.seed,
+                                port_scheme="bypass_filter")),
+    ("ports-banked", SweepPoint(profile=BENCHMARKS["milc"],
+                                scheme="conventional", size=_SCALE.sizes[0],
+                                insts=_SCALE.insts, seed=_SCALE.seed,
+                                port_scheme="banked_arbiter")),
 ]
 
 
@@ -44,6 +53,7 @@ def test_sweep_engine_matches_oracle_checked_run(figure, point):
     # so this enumerates the identical dynamic stream), oracle attached
     workload = shared_workload(point.profile, point.insts, point.seed)
     oracle_stats = simulate(make_config(point.profile, point.scheme,
-                                        point.size),
+                                        point.size,
+                                        port_scheme=point.port_scheme),
                             iter(workload), oracle=True)
     assert oracle_stats.to_dict() == result.stats.to_dict()

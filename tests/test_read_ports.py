@@ -1,8 +1,11 @@
 """Tests for register-file read-port contention modeling."""
 
+import dataclasses
+
 import pytest
 
 from repro import MachineConfig, assemble, simulate
+from repro.core.read_ports import apply_port_scheme
 from repro.isa.executor import run_to_completion
 from repro.workloads import BENCHMARKS, SyntheticWorkload
 
@@ -108,3 +111,120 @@ def test_write_port_correctness():
         processor.run()
         int_regs, _ = processor.architectural_state()
         assert int_regs == reference.int_regs, scheme
+
+
+# ------------------------------------------- port-reduction schemes
+def run_scheme(port_scheme, scheme="conventional", **overrides):
+    config = MachineConfig(scheme=scheme, int_regs=96, fp_regs=96,
+                           issue_width=6,
+                           fu_config={
+                               "alu": (6, 1, True), "mul": (1, 3, True),
+                               "div": (1, 12, False), "fpu": (2, 4, True),
+                               "fpdiv": (1, 16, False), "branch": (1, 1, True),
+                               "mem": (2, 1, True),
+                           })
+    config = apply_port_scheme(config, port_scheme)
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return simulate(config, assemble(WIDE))
+
+
+@pytest.mark.parametrize("port_scheme", ["bypass_filter", "banked_arbiter"])
+def test_port_scheme_correctness(port_scheme):
+    from repro.frontend.fetch import IterSource
+    from repro.isa.executor import FunctionalExecutor
+    from repro.pipeline.processor import Processor
+
+    reference = run_to_completion(assemble(WIDE))
+    for scheme in ("conventional", "sharing"):
+        config = apply_port_scheme(
+            MachineConfig(scheme=scheme, int_regs=64, fp_regs=64),
+            port_scheme)
+        executor = FunctionalExecutor(assemble(WIDE))
+        processor = Processor(config, IterSource(executor.run(100_000)))
+        processor.run()
+        int_regs, _ = processor.architectural_state()
+        assert int_regs == reference.int_regs, (scheme, port_scheme)
+
+
+def test_bypass_filter_beats_plain_halved_ports():
+    """The bypass filter serves forwarded operands for free, so it can't
+    be slower than the same halved port budget without the filter."""
+    filtered = run_scheme("bypass_filter")
+    plain = run(4)
+    assert filtered.cycles <= plain.cycles
+    assert filtered.rf_bypass_reads > 0
+    assert filtered.rf_port_reads > 0
+
+
+def test_bypass_depth_zero_is_inert():
+    """Depth 0 disables the bypass exemption: timing must equal the flat
+    rf_read_ports model at the same budget (only the counters differ)."""
+    inert = run_scheme("bypass_filter", rf_bypass_depth=0)
+    flat = run(4)
+    assert inert.cycles == flat.cycles
+    assert inert.committed == flat.committed
+    assert inert.rf_bypass_reads == 0
+
+
+def test_banked_arbiter_monotone_in_ports():
+    cycles = [run_scheme("banked_arbiter", rf_bank_read_ports=p).cycles
+              for p in (1, 2, 4)]
+    assert cycles == sorted(cycles, reverse=True)
+
+
+def test_banked_arbiter_ample_ports_equal_unlimited():
+    """Enough ports per bank to cover the whole issue width makes the
+    arbiter inert: identical timing to the unconstrained machine."""
+    ample = run_scheme("banked_arbiter", rf_read_banks=1,
+                       rf_bank_read_ports=32, rf_max_read_delay=0)
+    assert ample.cycles == run(None).cycles
+    assert ample.rf_port_stalls == 0
+    assert ample.rf_delay_cycles == 0
+
+
+def test_banked_arbiter_charges_delay_or_stalls():
+    tight = run_scheme("banked_arbiter", rf_read_banks=2,
+                       rf_bank_read_ports=1)
+    assert tight.rf_delay_cycles > 0 or tight.rf_port_stalls > 0
+    assert tight.cycles >= run(None).cycles
+
+
+def test_equal_area_budget_invariant():
+    """equal_area_regs is maximal: the returned count fits the baseline
+    budget and one more register would exceed it."""
+    from repro.area.cacti_lite import port_scheme_rf_area
+    from repro.area.equal_area import baseline_area, equal_area_regs
+
+    for scheme in ("bypass_filter", "banked_arbiter"):
+        for baseline_regs in (48, 64, 96, 128):
+            for bits in (64, 128):
+                budget = baseline_area(baseline_regs, bits)
+                n = equal_area_regs(baseline_regs, scheme, bits)
+                assert n >= baseline_regs
+                assert port_scheme_rf_area(scheme, n, bits) <= budget
+                assert port_scheme_rf_area(scheme, n + 1, bits) > budget
+
+
+def test_equal_area_none_is_identity():
+    from repro.area.equal_area import equal_area_regs
+
+    assert equal_area_regs(64, "none") == 64
+
+
+def test_make_config_grants_equal_area_bonus():
+    """The conventional baseline converts saved port area into registers;
+    the sharing scheme keeps the swept size (its budget is spent on
+    shadow cells and overheads already)."""
+    from repro.harness.runner import make_config
+
+    profile = BENCHMARKS["hmmer"]  # integer benchmark: int file swept
+    base = make_config(profile, "conventional", 64)
+    for port_scheme in ("bypass_filter", "banked_arbiter"):
+        boosted = make_config(profile, "conventional", 64,
+                              port_scheme=port_scheme)
+        assert boosted.rf_port_scheme == port_scheme
+        assert boosted.int_regs > base.int_regs
+        sharing = make_config(profile, "sharing", 64,
+                              port_scheme="none")
+        assert sharing.int_regs == base.int_regs
