@@ -3,9 +3,10 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: install test bench bench-parallel bench-full bench-floor repro \
-	examples cache-smoke sampling-smoke kernel-smoke ports-smoke verify \
-	fuzz fuzz-smoke faults-smoke faults golden lint-goldens clean
+.PHONY: install test bench bench-parallel bench-full bench-floor \
+	bench-sweep-floor repro examples cache-smoke sampling-smoke \
+	kernel-smoke ports-smoke sweep-smoke verify fuzz fuzz-smoke \
+	faults-smoke faults golden lint-goldens clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -39,6 +40,11 @@ kernel-smoke:
 # loop identity + commit-time oracle, port counters exercised
 ports-smoke:
 	$(PYTHON) tools/ports_smoke.py
+
+# sweep data plane: small grid bit-identical across serial, shared-memory
+# parallel and legacy jsonl paths; broadcast engages and leaks nothing
+sweep-smoke:
+	$(PYTHON) tools/sweep_smoke.py
 
 # oracle-checked kernel battery: every scheme, lockstep vs the golden model
 verify:
@@ -85,6 +91,12 @@ lint-goldens: golden
 # longer runs >= 3x faster than exact simulation
 bench-floor:
 	PYTHONPATH=src $(PYTHON) -m repro bench --quick --out bench-quick.json
+
+# sweep data-plane gate: binary decode must stay >= 5x JSON-lines per
+# pass, the sampled grid's cold-cache wall-clock >= 2x the legacy path,
+# and results bit-identical across jobs/shm/codec configurations
+bench-sweep-floor:
+	PYTHONPATH=src $(PYTHON) -m repro bench sweep --quick --out bench-sweep.json
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

@@ -5,6 +5,7 @@ Usage::
     python -m repro run PROGRAM.s [--scheme sharing] [--int-regs 64] ...
     python -m repro bench NAME [--scheme ...] [--insts 20000] ...
     python -m repro bench [--quick]    # cycle-loop throughput benchmark
+    python -m repro bench sweep [--quick] [--jobs 4]  # sweep data plane
     python -m repro profile sharing:hmmer:10000 [--top 15] [--out p.pstats]
     python -m repro compare NAME [--sizes 48,64,96] [--insts 10000]
     python -m repro figures [fig1 fig2 ... | all]
@@ -17,7 +18,9 @@ Usage::
 
 ``run`` executes an assembly file through the timing pipeline; ``bench``
 runs one synthetic benchmark profile — or, with no name, the cycle-loop
-throughput benchmark behind ``BENCH_cycleloop.json``; ``compare`` sweeps
+throughput benchmark behind ``BENCH_cycleloop.json``, or, with the name
+``sweep``, the sweep data-plane benchmark behind ``BENCH_sweep.json``
+(:mod:`repro.harness.bench_sweep`); ``compare`` sweeps
 register-file sizes for baseline vs proposed; ``figures`` regenerates the
 paper's tables/figures; ``motivation`` prints the dataflow analysis;
 ``profile`` wraps one simulation point in cProfile (``run`` and ``verify``
@@ -220,6 +223,8 @@ def cmd_run(args) -> int:
 def cmd_bench(args) -> int:
     if args.name is None:
         return _cmd_bench_cycleloop(args)
+    if args.name == "sweep":
+        return _cmd_bench_sweep(args)
     if args.name not in BENCHMARKS:
         print(f"unknown benchmark {args.name!r}; use one of: "
               f"{', '.join(sorted(BENCHMARKS))}", file=sys.stderr)
@@ -267,6 +272,44 @@ def _cmd_bench_cycleloop(args) -> int:
 
     out = Path(args.out) if args.out else bench.DEFAULT_PATH
     bench.write_record(current, path=out)
+    print(f"results written to {out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_sweep(args) -> int:
+    """``repro bench sweep``: the sweep data-plane benchmark behind
+    BENCH_sweep.json (see repro.harness.bench_sweep)."""
+    import json
+    from pathlib import Path
+
+    from repro.harness import bench_sweep
+
+    record = bench_sweep.load_record()
+    current = bench_sweep.run_bench(quick=args.quick, jobs=args.jobs,
+                                    seed=args.seed)
+    for line in bench_sweep.diff_against(record, current):
+        print(line)
+
+    if args.quick:
+        # quick mode (CI): never touch the committed record; write the
+        # artifact elsewhere and enforce the data-plane floors
+        out = Path(args.out or "bench-sweep.json")
+        out.write_text(json.dumps({"current": current}, indent=2,
+                                  sort_keys=True) + "\n")
+        print(f"results written to {out}", file=sys.stderr)
+        if not args.no_floor:
+            decode_ok, decode_message = bench_sweep.check_decode_floor(
+                current, floor=args.decode_floor)
+            print(decode_message)
+            sweep_ok, sweep_message = bench_sweep.check_sweep_floor(
+                current, floor=args.sweep_floor)
+            print(sweep_message)
+            if not (decode_ok and sweep_ok):
+                return 1
+        return 0
+
+    out = Path(args.out) if args.out else bench_sweep.DEFAULT_PATH
+    bench_sweep.write_record(current, path=out)
     print(f"results written to {out}", file=sys.stderr)
     return 0
 
@@ -600,7 +643,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench", help="run one benchmark profile; with no name, run the "
-        "cycle-loop throughput benchmark (BENCH_cycleloop.json)")
+        "cycle-loop throughput benchmark (BENCH_cycleloop.json); with "
+        "'sweep', run the sweep data-plane benchmark (BENCH_sweep.json)")
     p_bench.add_argument("name", nargs="?", default=None)
     p_bench.add_argument("--insts", type=int, default=20_000)
     p_bench.add_argument("--seed", type=int, default=1)
@@ -620,6 +664,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "full run, and the generated kernel's "
                               "skip amortisation makes the 8k-inst quick "
                               "run ~20%% slower per instruction)")
+    p_bench.add_argument("--jobs", type=int, default=4,
+                         help="sweep bench: worker count for the grid "
+                              "measurements (default 4)")
+    p_bench.add_argument("--decode-floor", type=float, default=5.0,
+                         help="sweep bench --quick: minimum binary/jsonl "
+                              "per-pass decode speedup before CI fails")
+    p_bench.add_argument("--sweep-floor", type=float, default=2.0,
+                         help="sweep bench --quick: minimum cold-cache "
+                              "sampled-grid speedup before CI fails")
     p_bench.add_argument("--sampled-floor", type=float, default=3.0,
                          help="cycle-loop bench --quick: minimum sampled/"
                               "exact sharing-scheme speedup (default 3.0)")

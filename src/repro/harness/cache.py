@@ -20,11 +20,18 @@ one-JSON-file-per-entry under the cache root:
 **Trace cache** — pregenerated synthetic-workload traces, keyed by
 (profile, insts, seed, body_iters) plus a *generator fingerprint* that
 hashes only the workload-generation modules, so simulator changes do not
-invalidate traces.  Entries are gzipped JSON-lines
-(:mod:`repro.workloads.trace_io` format) under ``REPRO_TRACE_DIR``, else
-``REPRO_CACHE_DIR``/traces, else ``~/.cache/repro/traces``.
-:func:`cached_stream` is the harness entry point: cold ProcessPool
-workers decode a trace from disk instead of re-running the generator.
+invalidate traces.  Entries are stored in the binary columnar codec
+(:mod:`repro.workloads.trace_codec`, ``.rtc`` files) by default; the
+gzipped JSON-lines container (:mod:`repro.workloads.trace_io` format,
+``.jsonl.gz``) remains as the human-readable interchange and the
+measured legacy comparison path (``REPRO_TRACE_FORMAT=jsonl``).  Both
+live under ``REPRO_TRACE_DIR``, else ``REPRO_CACHE_DIR``/traces, else
+``~/.cache/repro/traces``.  :func:`cached_stream` is the harness entry
+point: cold ProcessPool workers decode a trace from disk (or from the
+parent's shared-memory broadcast, :mod:`repro.harness.parallel`) instead
+of re-running the generator; a process-local LRU (:class:`TraceMemo`,
+sized by ``REPRO_TRACE_MEMO``) keeps the parsed columns of recently
+used workloads so repeat points pay only re-materialization.
 
 Corrupted or truncated entries are treated as misses (and removed), never
 as errors.  There is no automatic eviction — result entries are a few KB
@@ -243,18 +250,34 @@ def generator_fingerprint() -> str:
 
     Deliberately narrower than :func:`code_fingerprint`: a pregenerated
     trace depends on the generator, the profiles and the serialization
-    format — not on the simulator.  Pipeline changes keep traces valid.
+    formats — not on the simulator.  Pipeline changes keep traces valid.
     """
-    from repro.workloads import generator, profiles, trace_io
+    from repro.workloads import generator, profiles, trace_codec, trace_io
 
     digest = hashlib.sha256()
-    for module in (generator, profiles, trace_io):
+    for module in (generator, profiles, trace_codec, trace_io):
         path = Path(module.__file__)
         digest.update(path.name.encode())
         digest.update(b"\0")
         digest.update(path.read_bytes())
         digest.update(b"\0")
     return digest.hexdigest()[:16]
+
+
+#: trace storage format: "binary" (columnar codec) | "jsonl" (legacy)
+TRACE_FORMAT_ENV = "REPRO_TRACE_FORMAT"
+
+#: entry bound of the process-local trace memo
+TRACE_MEMO_ENV = "REPRO_TRACE_MEMO"
+
+
+def trace_format() -> str:
+    """``REPRO_TRACE_FORMAT`` env, validated; default ``binary``."""
+    fmt = os.environ.get(TRACE_FORMAT_ENV, "").strip() or "binary"
+    if fmt not in ("binary", "jsonl"):
+        raise ValueError(f"{TRACE_FORMAT_ENV}={fmt!r}: expected "
+                         f"'binary' or 'jsonl'")
+    return fmt
 
 
 def trace_key(profile: WorkloadProfile, insts: int, seed: int,
@@ -273,14 +296,68 @@ def trace_key(profile: WorkloadProfile, insts: int, seed: int,
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+class TraceStream:
+    """Re-iterable binary-codec trace.
+
+    The blob is parsed into :class:`~repro.workloads.trace_codec.
+    TraceColumns` once (lazily, checksum-validated); every iteration
+    re-materializes fresh :class:`~repro.isa.dyninst.DynInst` objects,
+    because the pipeline mutates instructions in place.  Holding the
+    stream (e.g. in :class:`TraceMemo`) therefore amortizes the parse
+    across passes — repeat points pay only materialization.
+    """
+
+    def __init__(self, blob: bytes, total_insts: int) -> None:
+        self.blob = blob
+        self.total_insts = total_insts
+        self._columns = None
+
+    def columns(self):
+        if self._columns is None:
+            from repro.workloads.trace_codec import decode_columns
+
+            self._columns = decode_columns(self.blob)
+        return self._columns
+
+    def __iter__(self):
+        return iter(self.columns().materialize())
+
+
+class JsonTraceStream:
+    """Re-iterable JSON-lines trace (legacy/interchange path): every
+    iteration re-decodes the text, so each pass yields fresh
+    :class:`~repro.isa.dyninst.DynInst` objects."""
+
+    def __init__(self, text: str, total_insts: int) -> None:
+        self._text = text
+        self.total_insts = total_insts
+
+    def __iter__(self):
+        from repro.workloads.trace_io import load_trace
+
+        return load_trace(io.StringIO(self._text))
+
+
 class TraceCache:
-    """On-disk pregenerated-trace cache (gzipped JSON-lines per entry)."""
+    """On-disk pregenerated-trace cache.
+
+    One entry per trace key, stored either as a binary columnar blob
+    (``.rtc``, the default) or as a gzipped JSON-lines container
+    (``.jsonl.gz``, the interchange/legacy format); ``format`` defaults
+    to :func:`trace_format` (``REPRO_TRACE_FORMAT``).  Reads probe the
+    cache's own format first, then fall back to the other, so a cache
+    directory written by the legacy path keeps working after the switch.
+    """
 
     def __init__(self, root: Optional[os.PathLike] = None,
-                 fingerprint: Optional[str] = None) -> None:
+                 fingerprint: Optional[str] = None,
+                 format: Optional[str] = None) -> None:
         self.root = Path(root) if root is not None else default_trace_dir()
         self.fingerprint = fingerprint if fingerprint is not None \
             else generator_fingerprint()
+        self.format = format if format is not None else trace_format()
+        if self.format not in ("binary", "jsonl"):
+            raise ValueError(f"unknown trace format {self.format!r}")
         self.hits = 0
         self.misses = 0
 
@@ -288,9 +365,40 @@ class TraceCache:
                 body_iters: int = 50) -> str:
         return trace_key(profile, insts, seed, body_iters, self.fingerprint)
 
-    def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.jsonl.gz"
+    def _path(self, key: str, format: Optional[str] = None) -> Path:
+        suffix = ".rtc" if (format or self.format) == "binary" \
+            else ".jsonl.gz"
+        return self.root / key[:2] / f"{key}{suffix}"
 
+    # ------------------------------------------------------------ binary
+    def get_blob(self, key: str) -> Optional[bytes]:
+        """The stored binary trace blob, or ``None`` on a miss.
+
+        The blob's header (magic, version, schema digest) and payload
+        checksum are validated here, so corruption, truncation and
+        version skew all read as misses (and remove the entry) rather
+        than surfacing later as decode errors.
+        """
+        from repro.workloads.trace_codec import TraceCodecError, trace_count
+
+        path = self._path(key, "binary")
+        try:
+            blob = path.read_bytes()
+            trace_count(blob)  # full header + checksum validation
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (TraceCodecError, OSError, ValueError):
+            self.misses += 1
+            _unlink_quietly(path)
+            return None
+        self.hits += 1
+        return blob
+
+    def put_blob(self, key: str, blob: bytes) -> None:
+        atomic_write_bytes(self._path(key, "binary"), blob)
+
+    # ------------------------------------------------------------- jsonl
     def get_text(self, key: str) -> Optional[str]:
         """The stored trace as JSON-lines text, or ``None`` on a miss.
 
@@ -298,7 +406,7 @@ class TraceCache:
         the header and the body (a truncated write that survived
         compression framing) reads as a miss, like any other corruption.
         """
-        path = self._path(key)
+        path = self._path(key, "jsonl")
         try:
             with gzip.open(path, "rt", encoding="utf-8") as handle:
                 header = json.loads(handle.readline())
@@ -322,12 +430,66 @@ class TraceCache:
             handle.write(json.dumps({"count": count}).encode("utf-8"))
             handle.write(b"\n")
             handle.write(text.encode("utf-8"))
-        atomic_write_bytes(self._path(key), buffer.getvalue())
+        atomic_write_bytes(self._path(key, "jsonl"), buffer.getvalue())
 
+    # ----------------------------------------------------------- streams
+    def get_stream(self, key: str,
+                   insts: int) -> Optional[Union[TraceStream,
+                                                 JsonTraceStream]]:
+        """The cached trace as a re-iterable stream, or ``None``.
+
+        Probes the cache's own format first, then the other format, so
+        mixed-format cache directories never force regeneration.  Only
+        the first probe's miss is counted (the fallback is opportunistic).
+        """
+        if self.format == "binary":
+            blob = self.get_blob(key)
+            if blob is not None:
+                return TraceStream(blob, insts)
+            text = self.get_text(key)
+            if text is not None:
+                self.misses -= 1  # fallback hit, not a real miss
+                return JsonTraceStream(text, insts)
+            self.misses -= 1
+            return None
+        text = self.get_text(key)
+        if text is not None:
+            return JsonTraceStream(text, insts)
+        blob = self.get_blob(key)
+        if blob is not None:
+            self.misses -= 1
+            return TraceStream(blob, insts)
+        self.misses -= 1
+        return None
+
+    def put_insts(self, key: str, insts_list: list,
+                  total_insts: int) -> Union[TraceStream, JsonTraceStream]:
+        """Serialize a generated instruction list per the cache format,
+        store it, and return the stream decoded from the stored bytes."""
+        if self.format == "binary":
+            from repro.workloads.trace_codec import TraceCodecError, encode
+
+            try:
+                blob = encode(insts_list)
+            except TraceCodecError:
+                pass  # unrepresentable trace: fall back to jsonl below
+            else:
+                self.put_blob(key, blob)
+                return TraceStream(blob, total_insts)
+        from repro.workloads.trace_io import save_trace
+
+        buffer = io.StringIO()
+        count = save_trace(iter(insts_list), buffer)
+        text = buffer.getvalue()
+        self.put_text(key, text, count)
+        return JsonTraceStream(text, total_insts)
+
+    # ------------------------------------------------------- maintenance
     def _entries(self) -> list[Path]:
         if not self.root.is_dir():
             return []
-        return list(self.root.glob("??/*.jsonl.gz"))
+        return list(self.root.glob("??/*.jsonl.gz")) \
+            + list(self.root.glob("??/*.rtc"))
 
     def __len__(self) -> int:
         return len(self._entries())
@@ -339,61 +501,100 @@ class TraceCache:
         return len(entries)
 
 
-class TraceStream:
-    """Re-iterable decoded trace: every iteration re-decodes the text, so
-    each pass yields fresh :class:`~repro.isa.dyninst.DynInst` objects
-    (the pipeline mutates instructions in place)."""
+class TraceMemo:
+    """Process-local LRU of decoded trace streams.
 
-    def __init__(self, text: str, total_insts: int) -> None:
-        self._text = text
-        self.total_insts = total_insts
+    Keyed by (profile, insts, seed, body_iters, format); bounded by
+    ``REPRO_TRACE_MEMO`` (default 32 entries, 0 disables).  Holding the
+    stream object — not just its bytes — keeps a binary stream's parsed
+    columns warm, so a worker revisiting a workload pays only
+    re-materialization.  Hit/miss counters feed the bench report.
+    """
 
-    def __iter__(self):
-        from repro.workloads.trace_io import load_trace
+    DEFAULT_LIMIT = 32
 
-        return load_trace(io.StringIO(self._text))
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is None:
+            raw = os.environ.get(TRACE_MEMO_ENV, "").strip()
+            limit = int(raw) if raw else self.DEFAULT_LIMIT
+        if limit < 0:
+            raise ValueError(f"{TRACE_MEMO_ENV} must be >= 0, got {limit}")
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+
+    def get(self, key: tuple):
+        stream = self._entries.get(key)
+        if stream is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return stream
+
+    def put(self, key: tuple, stream) -> None:
+        if self.limit == 0:
+            return
+        self._entries[key] = stream
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.limit:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def stats(self) -> dict:
+        return {"limit": self.limit, "entries": len(self._entries),
+                "hits": self.hits, "misses": self.misses}
 
 
-#: process-local decoded-trace memo (text is shared, decoding is per-pass)
-_TRACE_MEMO: "OrderedDict[tuple, str]" = OrderedDict()
-_TRACE_MEMO_LIMIT = 8
+#: process-wide memo instance; replace via :func:`reset_trace_memo`
+TRACE_MEMO = TraceMemo()
+
+
+def reset_trace_memo(limit: Optional[int] = None) -> TraceMemo:
+    """Install a fresh :class:`TraceMemo` (re-reading ``REPRO_TRACE_MEMO``
+    unless ``limit`` is given) and return it.  Used by tests and by the
+    bench harness to start from a cold memo."""
+    global TRACE_MEMO
+    TRACE_MEMO = TraceMemo(limit)
+    return TRACE_MEMO
 
 
 def cached_stream(profile: WorkloadProfile, insts: int, seed: int = 1,
                   body_iters: int = 50, cache: Optional[TraceCache] = None):
     """The workload stream for one sweep point, via the trace cache.
 
-    Resolution order: process-local memo -> on-disk trace cache ->
-    generate (and populate both).  Every path returns a
-    :class:`TraceStream` decoded from the serialized text — never the raw
-    generator — so jobs=1, warm-worker and cold-worker runs all consume
-    byte-identical streams.  Set ``REPRO_NO_TRACE_CACHE=1`` to bypass the
-    cache and use the in-memory generator directly.
+    Resolution order: process-local :class:`TraceMemo` -> on-disk trace
+    cache (binary ``.rtc`` by default; see ``REPRO_TRACE_FORMAT``) ->
+    generate (and populate both).  Every path returns a stream decoded
+    from the serialized bytes — never the raw generator — so jobs=1,
+    warm-worker and cold-worker runs all consume byte-identical streams.
+    Set ``REPRO_NO_TRACE_CACHE=1`` to bypass the cache and use the
+    in-memory generator directly.
     """
     if os.environ.get("REPRO_NO_TRACE_CACHE"):
         from repro.workloads.generator import shared_workload
 
         return shared_workload(profile, insts, seed, body_iters)
-    memo_key = (profile.name, insts, seed, body_iters)
-    text = _TRACE_MEMO.get(memo_key)
-    if text is None:
-        trace_cache = cache if cache is not None else TraceCache()
+    trace_cache = cache if cache is not None else TraceCache()
+    memo_key = (profile.name, insts, seed, body_iters, trace_cache.format)
+    stream = TRACE_MEMO.get(memo_key)
+    if stream is None:
         key = trace_cache.key_for(profile, insts, seed, body_iters)
-        text = trace_cache.get_text(key)
-        if text is None:
+        stream = trace_cache.get_stream(key, insts)
+        if stream is None:
             from repro.workloads.generator import SyntheticWorkload
-            from repro.workloads.trace_io import save_trace
 
             workload = SyntheticWorkload(profile, total_insts=insts,
                                          seed=seed, body_iters=body_iters)
-            buffer = io.StringIO()
-            count = save_trace(iter(workload), buffer)
-            text = buffer.getvalue()
-            trace_cache.put_text(key, text, count)
-        _TRACE_MEMO[memo_key] = text
-        _TRACE_MEMO.move_to_end(memo_key)
-        while len(_TRACE_MEMO) > _TRACE_MEMO_LIMIT:
-            _TRACE_MEMO.popitem(last=False)
-    else:
-        _TRACE_MEMO.move_to_end(memo_key)
-    return TraceStream(text, insts)
+            stream = trace_cache.put_insts(key, list(iter(workload)), insts)
+        TRACE_MEMO.put(memo_key, stream)
+    return stream

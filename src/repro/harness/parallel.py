@@ -18,19 +18,29 @@ Three layers of persistence/recovery:
 
 * an optional :class:`~repro.harness.cache.ResultCache` serves previously
   computed points without re-simulating;
-* an optional :class:`SweepJournal` records every completed point with an
-  atomic whole-file replace, so a sweep killed mid-flight (SIGKILL, OOM,
-  power) resumes exactly where it stopped — only incomplete points are
-  re-simulated;
+* an optional :class:`SweepJournal` appends one fsync'd JSON line per
+  completed point (with periodic atomic compaction), so a sweep killed
+  mid-flight (SIGKILL, OOM, power) resumes exactly where it stopped —
+  only incomplete points are re-simulated;
 * a :class:`~concurrent.futures.process.BrokenProcessPool` (a worker
   taken out by the OOM killer hard enough to poison the pool) rebuilds
   the pool and requeues the in-flight points, degrading to serial
   execution after ``POOL_FAILURE_LIMIT`` consecutive failures.
 
+The sweep data plane: before forking workers, the parent publishes each
+distinct workload's binary trace blob into
+:mod:`multiprocessing.shared_memory` (:class:`WorkloadBroadcast`,
+refcounted and unlinked by the parent alone, so worker deaths never
+leak segments), and fleet dispatch is affinity-aware
+(:class:`_AffinityQueue`): a freed worker preferentially receives points
+sharing its warm trace memo and loaded cycle kernel.  ``REPRO_NO_SHM=1``
+and ``REPRO_NO_AFFINITY=1`` disable either layer.
+
 Determinism: a point's result does not depend on how it was executed —
-``jobs=1``, ``jobs=N``, the fleet, the cached and the journaled path all
-reproduce bit-identical counters, which the tests assert.  Retries and
-backoff jitter only affect *when* a point runs, never its result.
+``jobs=1``, ``jobs=N``, the fleet, the cached and the journaled path,
+shared-memory or disk, all reproduce bit-identical counters, which the
+tests assert.  Retries, backoff jitter, broadcast and affinity only
+affect *when and where* a point runs, never its result.
 """
 
 from __future__ import annotations
@@ -136,14 +146,17 @@ def simulate_point(point: SweepPoint):
     """Execute one sweep point (pure function of the point).
 
     Workloads come from the pregenerated-trace cache: a cold pool worker
-    decodes the trace from disk instead of re-running the generator, and
-    every execution path (jobs=1, warm or cold worker) consumes the
-    identical serialized stream.
+    attaches the parent's shared-memory broadcast of the trace blob (or
+    decodes from disk when no broadcast covers the point) instead of
+    re-running the generator, and every execution path (jobs=1, warm or
+    cold worker, shared-memory or disk) consumes the identical
+    serialized stream.
     """
     from repro.harness.cache import cached_stream  # avoid import cycle
     from repro.harness.runner import make_config
     from repro.pipeline.processor import simulate
 
+    _attach_shared_workload(point)
     workload = cached_stream(point.profile, point.insts, point.seed)
     config = make_config(point.profile, point.scheme, point.size,
                          port_scheme=point.port_scheme)
@@ -188,6 +201,278 @@ def _backoff(base: float, attempt: int, salt: int) -> float:
     return base * (2 ** (attempt - 1)) + jitter
 
 
+# ------------------------------------------------------- workload broadcast
+#: kill switch for the shared-memory workload broadcast
+NO_SHM_ENV = "REPRO_NO_SHM"
+
+#: kill switch for affinity-aware fleet scheduling (FIFO dispatch instead)
+NO_AFFINITY_ENV = "REPRO_NO_AFFINITY"
+
+#: workload key -> (shared-memory segment name, blob size).  The parent
+#: populates this before forking workers; fork-started children inherit
+#: it and attach instead of hitting disk.  Spawn-started children see an
+#: empty dict and fall back to the on-disk trace cache — same bytes.
+_SHM_WORKLOADS: dict[tuple, tuple[str, int]] = {}
+
+
+def _workload_key(point: SweepPoint) -> tuple:
+    """Identity of the workload a point consumes (cached_stream inputs)."""
+    return (point.profile.name, point.insts, point.seed, 50)
+
+
+def _attach_shared_workload(point: SweepPoint) -> None:
+    """Worker side: seed the trace memo from the parent's broadcast.
+
+    If the parent published this point's workload blob before forking,
+    copy it out of shared memory into a :class:`TraceStream` and install
+    it in the process-local memo, so the subsequent
+    :func:`~repro.harness.cache.cached_stream` call is a memo hit —
+    no disk read, no gunzip, no generation.  Any failure (segment
+    already unlinked, platform quirks) silently falls back to the
+    normal disk path: the stream bytes are identical either way.
+    """
+    wkey = _workload_key(point)
+    entry = _SHM_WORKLOADS.get(wkey)
+    if entry is None:
+        return
+    from repro.harness.cache import TRACE_MEMO, TraceStream
+
+    memo_key = (point.profile.name, point.insts, point.seed, 50, "binary")
+    if TRACE_MEMO.get(memo_key) is not None:
+        return
+    name, size = entry
+    try:
+        from multiprocessing.shared_memory import SharedMemory
+
+        segment = SharedMemory(name=name)
+    except Exception:
+        return
+    try:
+        blob = bytes(segment.buf[:size])
+    finally:
+        # Attaching re-registers the name with the resource tracker
+        # (CPython < 3.13 has no track=False).  Fork-started workers
+        # share the parent's tracker process, so that register is a
+        # set-add no-op and the parent's unlink() unregisters exactly
+        # once; unregistering here would strip the parent's entry and
+        # make that unlink KeyError inside the tracker.
+        segment.close()
+    TRACE_MEMO.put(memo_key, TraceStream(blob, point.insts))
+
+
+class WorkloadBroadcast:
+    """Parent-side shared-memory publication of distinct workload blobs.
+
+    Each distinct ``(profile, insts, seed)`` workload among the pending
+    points is encoded **once** in the parent — generating it if the trace
+    cache is cold, which also moves generation out of the workers — and
+    its binary-codec blob is copied into one
+    :class:`~multiprocessing.shared_memory.SharedMemory` segment.
+    Fork-started workers inherit the name map (:data:`_SHM_WORKLOADS`)
+    and attach instead of re-reading disk per point.
+
+    Leak-proofing: segments are refcounted by pending-point count and
+    unlinked the moment the last consumer point resolves (crashed,
+    timed-out and requeued points all resolve exactly once through
+    ``finish``), and :meth:`close` unlinks everything left as the sweep's
+    ``finally`` — worker deaths never strand a segment, because only the
+    parent owns unlinking.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[tuple, object] = {}
+        self._refs: dict[tuple, int] = {}
+        self.published_bytes = 0
+
+    def publish(self, points: list, pending: list[int]) -> None:
+        """Publish every distinct pending workload; silently does nothing
+        when disabled (``REPRO_NO_SHM=1``), when traces are bypassed or
+        non-binary, or where shared memory is unavailable."""
+        if os.environ.get(NO_SHM_ENV) or os.environ.get("REPRO_NO_TRACE_CACHE"):
+            return
+        try:
+            from multiprocessing.shared_memory import SharedMemory
+        except Exception:  # pragma: no cover - platform without shm
+            return
+        from repro.harness.cache import TraceStream, cached_stream, trace_format
+
+        if trace_format() != "binary":
+            return
+        refs: dict[tuple, int] = {}
+        for index in pending:
+            refs[_workload_key(points[index])] = \
+                refs.get(_workload_key(points[index]), 0) + 1
+        for wkey, count in refs.items():
+            profile = next(points[i].profile for i in pending
+                           if _workload_key(points[i]) == wkey)
+            try:
+                stream = cached_stream(profile, wkey[1], wkey[2], wkey[3])
+                if not isinstance(stream, TraceStream):
+                    continue  # legacy-format entry: disk path still works
+                blob = stream.blob
+                segment = SharedMemory(create=True, size=max(1, len(blob)))
+                segment.buf[:len(blob)] = blob
+            except Exception:
+                continue  # /dev/shm exhausted etc.: disk path still works
+            self._segments[wkey] = segment
+            self._refs[wkey] = count
+            self.published_bytes += len(blob)
+            _SHM_WORKLOADS[wkey] = (segment.name, len(blob))
+
+    def release(self, point: SweepPoint) -> None:
+        """One consumer point resolved: unlink its segment at refcount 0."""
+        wkey = _workload_key(point)
+        if wkey not in self._refs:
+            return
+        self._refs[wkey] -= 1
+        if self._refs[wkey] <= 0:
+            self._unlink(wkey)
+
+    def _unlink(self, wkey: tuple) -> None:
+        segment = self._segments.pop(wkey, None)
+        self._refs.pop(wkey, None)
+        _SHM_WORKLOADS.pop(wkey, None)
+        if segment is not None:
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:  # pragma: no cover - double-unlink race
+                pass
+
+    def close(self) -> None:
+        """Unlink every remaining segment (sweep ``finally``)."""
+        for wkey in list(self._segments):
+            self._unlink(wkey)
+
+    def stats(self) -> dict:
+        return {"segments": len(self._segments),
+                "published_bytes": self.published_bytes}
+
+
+# --------------------------------------------------------------- affinity
+#: memoized kernel fingerprints; (profile, scheme, size, port_scheme) ->
+#: fingerprint string or None when codegen is unavailable/disabled
+_KERNEL_KEYS: dict[tuple, Optional[str]] = {}
+
+
+def _kernel_key(point: SweepPoint) -> Optional[str]:
+    """The compiled-kernel identity a point will execute under, or None."""
+    cache_key = (point.profile.name, point.scheme, point.size,
+                 point.port_scheme)
+    if cache_key in _KERNEL_KEYS:
+        return _KERNEL_KEYS[cache_key]
+    fingerprint: Optional[str] = None
+    try:
+        from repro.codegen import kernels_enabled
+        from repro.codegen.fingerprint import kernel_fingerprint
+        from repro.harness.runner import make_config
+
+        if kernels_enabled():
+            config = make_config(point.profile, point.scheme, point.size,
+                                 port_scheme=point.port_scheme)
+            fingerprint = kernel_fingerprint(config)
+    except Exception:
+        fingerprint = None
+    _KERNEL_KEYS[cache_key] = fingerprint
+    return fingerprint
+
+
+def _affinity_order(points: list, pending: list[int]) -> list[int]:
+    """Pending indices grouped by workload key, then kernel key.
+
+    Workers consuming an ordered stream of tasks then see long runs of
+    the same workload (memo hits) and the same kernel (no module
+    reload); grouping is stable, so equal-key points keep their index
+    order.  ``REPRO_NO_AFFINITY=1`` preserves plain index order.
+    """
+    if os.environ.get(NO_AFFINITY_ENV):
+        return list(pending)
+    order: dict[tuple, int] = {}
+    for index in pending:
+        group = (_workload_key(points[index]),
+                 _kernel_key(points[index]) or "")
+        order.setdefault(group, len(order))
+    return sorted(pending, key=lambda i: (
+        order[(_workload_key(points[i]), _kernel_key(points[i]) or "")], i))
+
+
+class _AffinityQueue:
+    """Fleet dispatch queue that maximizes worker-side reuse.
+
+    Tasks are grouped by workload key, then kernel key.  ``pop`` prefers,
+    in order: a task matching the worker's last (workload, kernel) pair
+    (memo hit + loaded kernel), then the worker's last workload (memo
+    hit), then the largest workload group no other busy worker currently
+    owns (spreads distinct workloads across the fleet), then the largest
+    group outright.  Ties break by insertion order, keeping dispatch
+    deterministic for a fixed fleet state.  With ``REPRO_NO_AFFINITY=1``
+    it degrades to plain FIFO.
+    """
+
+    def __init__(self, points: list) -> None:
+        self._points = points
+        self._fifo = bool(os.environ.get(NO_AFFINITY_ENV))
+        #: wkey -> kkey -> list of (index, attempt); dicts keep insertion
+        #: order, lists serve as FIFO queues within a kernel group
+        self._groups: dict[tuple, dict[Optional[str], list]] = {}
+        self._order: list[tuple[int, int]] = []  # FIFO fallback view
+        self._size = 0
+
+    def push(self, index: int, attempt: int) -> None:
+        point = self._points[index]
+        kernels = self._groups.setdefault(_workload_key(point), {})
+        kernels.setdefault(_kernel_key(point), []).append((index, attempt))
+        self._order.append((index, attempt))
+        self._size += 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _take(self, wkey: tuple, kkey: Optional[str]) -> tuple[int, int]:
+        kernels = self._groups[wkey]
+        task = kernels[kkey].pop(0)
+        if not kernels[kkey]:
+            del kernels[kkey]
+        if not kernels:
+            del self._groups[wkey]
+        self._order.remove(task)
+        self._size -= 1
+        return task
+
+    def _group_size(self, wkey: tuple) -> int:
+        return sum(len(tasks) for tasks in self._groups[wkey].values())
+
+    def pop(self, last_wkey: Optional[tuple] = None,
+            last_kkey: Optional[str] = None,
+            owned: frozenset = frozenset()) -> Optional[tuple[int, int]]:
+        """Next (index, attempt) for a worker whose previous task had
+        ``(last_wkey, last_kkey)``; ``owned`` holds workload keys other
+        busy workers are executing right now."""
+        if self._size == 0:
+            return None
+        if self._fifo:
+            task = self._order.pop(0)
+            index, attempt = task
+            point = self._points[index]
+            kernels = self._groups[_workload_key(point)]
+            kernels[_kernel_key(point)].remove(task)
+            if not kernels[_kernel_key(point)]:
+                del kernels[_kernel_key(point)]
+            if not kernels:
+                del self._groups[_workload_key(point)]
+            self._size -= 1
+            return task
+        if last_wkey is not None and last_wkey in self._groups:
+            kernels = self._groups[last_wkey]
+            if last_kkey in kernels:
+                return self._take(last_wkey, last_kkey)
+            return self._take(last_wkey, next(iter(kernels)))
+        candidates = [wkey for wkey in self._groups if wkey not in owned] \
+            or list(self._groups)
+        best = max(candidates, key=self._group_size)
+        return self._take(best, next(iter(self._groups[best])))
+
+
 # ------------------------------------------------------------------ journal
 def _key_for_point(point: SweepPoint, fingerprint: Optional[str]) -> str:
     from repro.harness.cache import point_key
@@ -203,16 +488,24 @@ class SweepJournal:
     """Crash-safe record of completed sweep points (``--resume`` support).
 
     A JSON-lines file: one ``{"key", "label", "stats"}`` object per
-    completed point.  Every update rewrites the file through an atomic
-    temp-file + rename (:func:`~repro.harness.cache.atomic_write_text`),
-    so a reader — including the resuming run after a SIGKILL — never sees
-    a torn file; corrupt or alien lines are skipped on load (counted in
-    ``skipped_lines``), never fatal.
+    completed point.  Each :meth:`record` *appends* one fsync'd line —
+    O(1) per point, not the O(n) whole-file rewrite (O(n²) per sweep)
+    it replaced.  A crash can tear at most the final line, which the
+    loader skips (counted in ``skipped_lines``) like any corrupt or
+    alien line — never fatal.  Re-recorded keys append duplicate lines
+    (last one wins on load); when duplicates pile past
+    ``COMPACT_SLACK``, the journal compacts itself through an atomic
+    temp-file + rename rewrite, so readers still never observe a torn
+    file.
 
     Keys are the result-cache point keys, which fold in the simulator
     code fingerprint: a journal written by a stale checkout silently
     serves nothing, rather than resuming with wrong numbers.
     """
+
+    #: excess file lines (duplicates from re-records) tolerated before an
+    #: atomic compaction rewrite
+    COMPACT_SLACK = 256
 
     def __init__(self, path: os.PathLike,
                  fingerprint: Optional[str] = None) -> None:
@@ -222,7 +515,9 @@ class SweepJournal:
         self.fingerprint = (fingerprint if fingerprint is not None
                             else code_fingerprint())
         self._entries: dict[str, dict] = {}
+        self._file_lines = 0  # lines in the file, duplicates included
         self.skipped_lines = 0
+        self.compactions = 0
         self._load()
 
     # ------------------------------------------------------------------ io
@@ -235,6 +530,7 @@ class SweepJournal:
             line = line.strip()
             if not line:
                 continue
+            self._file_lines += 1
             try:
                 raw = json.loads(line)
                 key = raw["key"]
@@ -246,11 +542,22 @@ class SweepJournal:
             self._entries[key] = raw
 
     def _flush(self) -> None:
+        """Atomic whole-file rewrite (compaction): one line per live key."""
         from repro.harness.cache import atomic_write_text
 
         body = "".join(json.dumps(entry, sort_keys=True) + "\n"
                        for entry in self._entries.values())
         atomic_write_text(self.path, body)
+        self._file_lines = len(self._entries)
+
+    def _append(self, entry: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._file_lines += 1
 
     # ------------------------------------------------------------------ access
     def key_for_point(self, point: SweepPoint) -> str:
@@ -271,7 +578,10 @@ class SweepJournal:
         key = self.key_for_point(point)
         self._entries[key] = {"key": key, "label": point.label(),
                               "stats": stats.to_dict()}
-        self._flush()
+        self._append(self._entries[key])
+        if self._file_lines > len(self._entries) + self.COMPACT_SLACK:
+            self._flush()
+            self.compactions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -349,6 +659,7 @@ def run_points(
     jobs = resolve_jobs(jobs)
     results: list[Optional[PointResult]] = [None] * total
     done = 0
+    broadcast = WorkloadBroadcast()
 
     def finish(index: int, result: PointResult) -> None:
         nonlocal done
@@ -359,6 +670,7 @@ def run_points(
                 cache.put(cache.key_for_point(result.point), result.stats)
             if journal is not None:
                 journal.record(result.point, result.stats)
+        broadcast.release(result.point)
         if progress is not None:
             progress(done, total, result)
 
@@ -382,22 +694,34 @@ def run_points(
         return results  # type: ignore[return-value]
 
     _prewarm_kernels(points, pending)
+    multiprocess = timeout is not None or \
+        (min(jobs, len(pending)) > 1)
 
-    if timeout is not None:
-        # enforcing a wall-clock bound needs killable workers, even for
-        # jobs=1: run a fleet of (at least) one
-        _run_fleet(points, pending, finish, max(1, min(jobs, len(pending))),
-                   timeout, retries, retry_delay)
-    elif jobs > 1 and retries > 0:
-        # retries with jobs>1 also imply process isolation (a point that
-        # takes its worker down must not take the sweep down), so the
-        # fleet runs even for a single pending point
-        _run_fleet(points, pending, finish, min(jobs, len(pending)),
-                   None, retries, retry_delay)
-    elif jobs == 1 or len(pending) == 1:
-        _run_serial(points, pending, finish, retries, retry_delay)
-    else:
-        _run_executor(points, pending, finish, min(jobs, len(pending)))
+    try:
+        if multiprocess:
+            # publish each distinct workload blob to shared memory once,
+            # before any worker forks, so cold workers attach instead of
+            # re-reading disk per point
+            broadcast.publish(points, pending)
+        if timeout is not None:
+            # enforcing a wall-clock bound needs killable workers, even
+            # for jobs=1: run a fleet of (at least) one
+            _run_fleet(points, pending, finish,
+                       max(1, min(jobs, len(pending))),
+                       timeout, retries, retry_delay)
+        elif jobs > 1 and retries > 0:
+            # retries with jobs>1 also imply process isolation (a point
+            # that takes its worker down must not take the sweep down),
+            # so the fleet runs even for a single pending point
+            _run_fleet(points, pending, finish, min(jobs, len(pending)),
+                       None, retries, retry_delay)
+        elif jobs == 1 or len(pending) == 1:
+            _run_serial(points, pending, finish, retries, retry_delay)
+        else:
+            _run_executor(points, pending, finish,
+                          min(jobs, len(pending)))
+    finally:
+        broadcast.close()
     return results  # type: ignore[return-value]
 
 
@@ -431,8 +755,11 @@ def _run_executor(points, pending, finish, workers: int) -> None:
     while remaining:
         try:
             with ProcessPoolExecutor(max_workers=min(workers, len(remaining))) as pool:
+                # affinity ordering: grouped submission gives each worker
+                # long runs of one workload/kernel (memo + kernel reuse)
                 futures = {pool.submit(_worker, (index, points[index])): index
-                           for index in sorted(remaining)}
+                           for index in _affinity_order(points,
+                                                        sorted(remaining))}
                 for future in as_completed(futures):
                     index, stats_dict, error = future.result()
                     remaining.discard(index)
@@ -474,6 +801,10 @@ class _Slot:
     index: Optional[int] = None  # point index in flight, or None (idle)
     attempt: int = 0
     deadline: Optional[float] = None
+    #: affinity state: workload/kernel keys of the most recent dispatch —
+    #: kept across completions so an idle worker's warm memo is known
+    wkey: Optional[tuple] = None
+    kkey: Optional[str] = None
 
     @property
     def busy(self) -> bool:
@@ -486,6 +817,12 @@ def _run_fleet(points, pending, finish, workers: int,
     """Self-healing worker fleet: direct task dispatch over pipes, a
     wall-clock watchdog per in-flight point, kill-and-requeue for
     stragglers and dead workers, bounded retries with backoff.
+
+    Dispatch is affinity-aware (:class:`_AffinityQueue`): a freed worker
+    preferentially receives a point sharing its previous workload (warm
+    trace memo) and kernel (loaded module), while distinct workloads
+    spread across distinct workers.  Scheduling never affects results —
+    a point is a pure function of itself — only wall-clock.
 
     Workers are forked (where available) so test doubles installed on
     :data:`_POINT_RUNNER` propagate; each worker owns a dedicated
@@ -516,9 +853,11 @@ def _run_fleet(points, pending, finish, workers: int,
         slot.process.kill()
         slot.process.join()
 
-    # queue of (point index, attempt) ready to dispatch now; delayed holds
-    # (ready-at monotonic time, index, attempt) entries backing off
-    queue: list[tuple[int, int]] = [(index, 1) for index in pending]
+    # affinity queue of (point index, attempt) ready to dispatch now;
+    # delayed holds (ready-at monotonic time, index, attempt) backing off
+    queue = _AffinityQueue(points)
+    for index in pending:
+        queue.push(index, 1)
     delayed: list[tuple[float, int, int]] = []
     unresolved = set(pending)
     slots = [spawn() for _ in range(workers)]
@@ -541,16 +880,21 @@ def _run_fleet(points, pending, finish, workers: int,
                 ready = [entry for entry in delayed if entry[0] <= now]
                 if ready:
                     delayed[:] = [e for e in delayed if e[0] > now]
-                    queue.extend((index, attempt)
-                                 for _, index, attempt in sorted(ready))
-            # dispatch ready tasks to idle slots
+                    for _, index, attempt in sorted(ready):
+                        queue.push(index, attempt)
+            # dispatch ready tasks to idle slots, best-affinity first
             for slot in slots:
-                if not queue:
+                if not len(queue):
                     break
                 if slot.busy:
                     continue
-                index, attempt = queue.pop(0)
+                owned = frozenset(s.wkey for s in slots
+                                  if s is not slot and s.busy
+                                  and s.wkey is not None)
+                index, attempt = queue.pop(slot.wkey, slot.kkey, owned)
                 slot.index, slot.attempt = index, attempt
+                slot.wkey = _workload_key(points[index])
+                slot.kkey = _kernel_key(points[index])
                 slot.deadline = (now + timeout) if timeout is not None \
                     else None
                 try:

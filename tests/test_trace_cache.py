@@ -1,11 +1,10 @@
 """Tests for the on-disk pregenerated-trace cache (repro.harness.cache)."""
 
-from collections import OrderedDict
-
 import pytest
 
 import repro.harness.cache as cache_mod
-from repro.harness.cache import TraceCache, TraceStream, cached_stream
+from repro.harness.cache import (JsonTraceStream, TraceCache, TraceMemo,
+                                 TraceStream, cached_stream)
 from repro.harness.runner import make_config
 from repro.pipeline.processor import simulate
 from repro.workloads.generator import SyntheticWorkload, shared_workload
@@ -18,7 +17,7 @@ PROFILE = BENCHMARKS["gsm"]
 def _fresh_memo(monkeypatch):
     """Each test sees an empty process-local memo, so hits/misses observed
     on the TraceCache reflect the on-disk behaviour under test."""
-    monkeypatch.setattr(cache_mod, "_TRACE_MEMO", OrderedDict())
+    monkeypatch.setattr(cache_mod, "TRACE_MEMO", TraceMemo())
 
 
 def test_cold_generates_warm_hits(tmp_path):
@@ -28,7 +27,7 @@ def test_cold_generates_warm_hits(tmp_path):
     assert cache.misses == 1 and cache.hits == 0
     assert len(cache) == 1
 
-    cache_mod._TRACE_MEMO.clear()
+    cache_mod.TRACE_MEMO.clear()
     warm = cached_stream(PROFILE, 500, seed=1, cache=cache)
     assert cache.hits == 1
     assert [d.pc for d in warm] == [d.pc for d in stream]
@@ -55,8 +54,9 @@ def test_stream_yields_fresh_objects_each_pass(tmp_path):
     assert all(a is not b for a, b in zip(first, second))
 
 
-def test_roundtrip_simulation_is_bit_identical(tmp_path):
-    cache = TraceCache(tmp_path, fingerprint="fp")
+@pytest.mark.parametrize("fmt", ["binary", "jsonl"])
+def test_roundtrip_simulation_is_bit_identical(tmp_path, fmt):
+    cache = TraceCache(tmp_path, fingerprint="fp", format=fmt)
     config = make_config(PROFILE, "sharing", 48)
     via_trace = simulate(
         config, iter(cached_stream(PROFILE, 2000, seed=1, cache=cache)))
@@ -65,8 +65,53 @@ def test_roundtrip_simulation_is_bit_identical(tmp_path):
     assert via_trace.to_dict() == via_generator.to_dict()
 
 
-def test_corrupt_entry_is_a_miss_and_removed(tmp_path):
-    cache = TraceCache(tmp_path, fingerprint="fp")
+def test_binary_and_jsonl_streams_are_equivalent(tmp_path):
+    binary = TraceCache(tmp_path / "b", fingerprint="fp", format="binary")
+    jsonl = TraceCache(tmp_path / "j", fingerprint="fp", format="jsonl")
+    via_binary = cached_stream(PROFILE, 800, seed=3, cache=binary)
+    cache_mod.TRACE_MEMO.clear()
+    via_jsonl = cached_stream(PROFILE, 800, seed=3, cache=jsonl)
+    assert isinstance(via_binary, TraceStream)
+    assert isinstance(via_jsonl, JsonTraceStream)
+    for a, b in zip(via_binary, via_jsonl):
+        assert (a.seq, a.pc, a.op, a.dest, a.srcs, a.imm, a.result) == \
+            (b.seq, b.pc, b.op, b.dest, b.srcs, b.imm, b.result)
+
+
+def test_format_fallback_reads_other_formats_entry(tmp_path):
+    # a cache dir written by the legacy jsonl path keeps serving after
+    # the default switches to binary — no forced regeneration
+    jsonl = TraceCache(tmp_path, fingerprint="fp", format="jsonl")
+    cached_stream(PROFILE, 300, seed=1, cache=jsonl)
+    cache_mod.TRACE_MEMO.clear()
+
+    binary = TraceCache(tmp_path, fingerprint="fp", format="binary")
+    stream = cached_stream(PROFILE, 300, seed=1, cache=binary)
+    assert isinstance(stream, JsonTraceStream)
+    assert binary.hits == 1 and binary.misses == 0
+    assert len(binary._entries()) == 1  # nothing regenerated
+
+
+def test_corrupt_binary_entry_is_a_miss_and_removed(tmp_path):
+    cache = TraceCache(tmp_path, fingerprint="fp", format="binary")
+    key = cache.key_for(PROFILE, 400, 1)
+    cached_stream(PROFILE, 400, seed=1, cache=cache)
+    path = cache._path(key)
+    assert path.suffix == ".rtc" and path.is_file()
+
+    path.write_bytes(b"not a trace blob")
+    assert cache.get_blob(key) is None
+    assert not path.exists()  # corrupt entry evicted
+
+    # regenerating repopulates the entry transparently
+    cache_mod.TRACE_MEMO.clear()
+    stream = cached_stream(PROFILE, 400, seed=1, cache=cache)
+    assert path.is_file()
+    assert sum(1 for _ in stream) == 400
+
+
+def test_corrupt_jsonl_entry_is_a_miss_and_removed(tmp_path):
+    cache = TraceCache(tmp_path, fingerprint="fp", format="jsonl")
     key = cache.key_for(PROFILE, 400, 1)
     cached_stream(PROFILE, 400, seed=1, cache=cache)
     path = cache._path(key)
@@ -74,17 +119,11 @@ def test_corrupt_entry_is_a_miss_and_removed(tmp_path):
 
     path.write_bytes(b"not gzip at all")
     assert cache.get_text(key) is None
-    assert not path.exists()  # corrupt entry evicted
-
-    # regenerating repopulates the entry transparently
-    cache_mod._TRACE_MEMO.clear()
-    stream = cached_stream(PROFILE, 400, seed=1, cache=cache)
-    assert path.is_file()
-    assert sum(1 for _ in stream) == 400
+    assert not path.exists()
 
 
 def test_truncated_body_is_a_miss(tmp_path):
-    cache = TraceCache(tmp_path, fingerprint="fp")
+    cache = TraceCache(tmp_path, fingerprint="fp", format="jsonl")
     key = cache.key_for(PROFILE, 100, 1)
     cached_stream(PROFILE, 100, seed=1, cache=cache)
     text = cache.get_text(key)
@@ -106,9 +145,49 @@ def test_env_kill_switch_bypasses_cache(tmp_path, monkeypatch):
     assert len(TraceCache(tmp_path)) == 0
 
 
+def test_env_format_selects_jsonl(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_FORMAT", "jsonl")
+    cache = TraceCache(tmp_path, fingerprint="fp")
+    assert cache.format == "jsonl"
+    stream = cached_stream(PROFILE, 200, seed=1, cache=cache)
+    assert isinstance(stream, JsonTraceStream)
+    assert cache._path(cache.key_for(PROFILE, 200, 1)).is_file()
+
+    monkeypatch.setenv("REPRO_TRACE_FORMAT", "sideways")
+    with pytest.raises(ValueError):
+        TraceCache(tmp_path, fingerprint="fp")
+
+
 def test_memo_serves_repeat_lookups_without_disk(tmp_path):
     cache = TraceCache(tmp_path, fingerprint="fp")
     cached_stream(PROFILE, 250, seed=1, cache=cache)
     # second lookup in the same process: memo hit, no new cache traffic
     cached_stream(PROFILE, 250, seed=1, cache=cache)
     assert cache.hits + cache.misses == 1
+    assert cache_mod.TRACE_MEMO.hits == 1
+    assert cache_mod.TRACE_MEMO.misses == 1
+
+
+def test_memo_is_a_bounded_lru(monkeypatch, tmp_path):
+    memo = TraceMemo(limit=2)
+    memo.put(("a",), "A")
+    memo.put(("b",), "B")
+    assert memo.get(("a",)) == "A"  # refresh "a": now "b" is the LRU tail
+    memo.put(("c",), "C")
+    assert ("b",) not in memo and ("a",) in memo and ("c",) in memo
+    assert len(memo) == 2
+    assert memo.stats()["hits"] == 1
+
+    monkeypatch.setenv("REPRO_TRACE_MEMO", "7")
+    assert TraceMemo().limit == 7
+    with pytest.raises(ValueError):
+        TraceMemo(limit=-1)
+
+
+def test_memo_limit_zero_disables(monkeypatch, tmp_path):
+    monkeypatch.setattr(cache_mod, "TRACE_MEMO", TraceMemo(limit=0))
+    cache = TraceCache(tmp_path, fingerprint="fp")
+    cached_stream(PROFILE, 250, seed=1, cache=cache)
+    cached_stream(PROFILE, 250, seed=1, cache=cache)
+    assert len(cache_mod.TRACE_MEMO) == 0
+    assert cache.hits == 1  # every lookup goes to disk
