@@ -4,9 +4,9 @@ PYTHON ?= python
 JOBS ?= 4
 
 .PHONY: install test bench bench-parallel bench-full bench-floor \
-	bench-sweep-floor repro examples cache-smoke sampling-smoke \
-	kernel-smoke ports-smoke sweep-smoke verify fuzz fuzz-smoke \
-	faults-smoke faults golden lint-goldens clean
+	bench-sweep-floor sample-bench repro examples cache-smoke \
+	sampling-smoke kernel-smoke ports-smoke sweep-smoke verify fuzz \
+	fuzz-smoke faults-smoke faults golden lint-goldens clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -97,6 +97,11 @@ bench-floor:
 # and results bit-identical across jobs/shm/codec configurations
 bench-sweep-floor:
 	PYTHONPATH=src $(PYTHON) -m repro bench sweep --quick --out bench-sweep.json
+
+# sampled-simulation gate: columnar skim >= 5x the per-inst path, no
+# scheme's end-to-end sampled run slower than materializing everything
+sample-bench:
+	PYTHONPATH=src $(PYTHON) -m repro bench sample --quick --out bench-sampling.json
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

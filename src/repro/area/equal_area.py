@@ -11,6 +11,8 @@ validated (they never exceed the baseline area) by ``validate_table3``.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.area.cacti_lite import (
     banked_rf_area,
     port_scheme_rf_area,
@@ -53,8 +55,13 @@ def _shadow_bank_size(baseline_regs: int) -> int:
     return 8
 
 
+@lru_cache(maxsize=None)
 def equal_area_banks(baseline_regs: int, bits: int = 64) -> tuple[int, int, int, int]:
-    """Largest (n0, s, s, s) configuration whose area fits the baseline's."""
+    """Largest (n0, s, s, s) configuration whose area fits the baseline's.
+
+    Cached: the result is a pure function of its arguments, and the
+    sampling engine re-derives the bank split for every per-window
+    processor it builds."""
     budget = baseline_area(baseline_regs, bits)
     s = _shadow_bank_size(baseline_regs)
     n0 = max(_MIN_TOTAL_REGS - 3 * s, 1)

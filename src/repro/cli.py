@@ -6,7 +6,9 @@ Usage::
     python -m repro bench NAME [--scheme ...] [--insts 20000] ...
     python -m repro bench [--quick]    # cycle-loop throughput benchmark
     python -m repro bench sweep [--quick] [--jobs 4]  # sweep data plane
+    python -m repro bench sample [--quick]  # sampled-simulation throughput
     python -m repro profile sharing:hmmer:10000 [--top 15] [--out p.pstats]
+    python -m repro profile sharing:hmmer:20000 --sampled  # phase breakdown
     python -m repro compare NAME [--sizes 48,64,96] [--insts 10000]
     python -m repro figures [fig1 fig2 ... | all]
     python -m repro kernels [--list | NAME]
@@ -20,7 +22,9 @@ Usage::
 runs one synthetic benchmark profile — or, with no name, the cycle-loop
 throughput benchmark behind ``BENCH_cycleloop.json``, or, with the name
 ``sweep``, the sweep data-plane benchmark behind ``BENCH_sweep.json``
-(:mod:`repro.harness.bench_sweep`); ``compare`` sweeps
+(:mod:`repro.harness.bench_sweep`), or, with the name ``sample``, the
+sampled-simulation benchmark behind ``BENCH_sampling.json``
+(:mod:`repro.harness.bench_sampling`); ``compare`` sweeps
 register-file sizes for baseline vs proposed; ``figures`` regenerates the
 paper's tables/figures; ``motivation`` prints the dataflow analysis;
 ``profile`` wraps one simulation point in cProfile (``run`` and ``verify``
@@ -225,6 +229,8 @@ def cmd_bench(args) -> int:
         return _cmd_bench_cycleloop(args)
     if args.name == "sweep":
         return _cmd_bench_sweep(args)
+    if args.name == "sample":
+        return _cmd_bench_sample(args)
     if args.name not in BENCHMARKS:
         print(f"unknown benchmark {args.name!r}; use one of: "
               f"{', '.join(sorted(BENCHMARKS))}", file=sys.stderr)
@@ -314,6 +320,43 @@ def _cmd_bench_sweep(args) -> int:
     return 0
 
 
+def _cmd_bench_sample(args) -> int:
+    """``repro bench sample``: the sampled-simulation benchmark behind
+    BENCH_sampling.json (see repro.harness.bench_sampling)."""
+    import json
+    from pathlib import Path
+
+    from repro.harness import bench_sampling
+
+    record = bench_sampling.load_record()
+    current = bench_sampling.run_bench(quick=args.quick, seed=args.seed)
+    for line in bench_sampling.diff_against(record, current):
+        print(line)
+
+    if args.quick:
+        # quick mode (CI): never touch the committed record; write the
+        # artifact elsewhere and enforce the columnar floors
+        out = Path(args.out or "bench-sampling.json")
+        out.write_text(json.dumps({"current": current}, indent=2,
+                                  sort_keys=True) + "\n")
+        print(f"results written to {out}", file=sys.stderr)
+        if not args.no_floor:
+            skim_ok, skim_message = bench_sampling.check_skim_floor(
+                current, floor=args.skim_floor)
+            print(skim_message)
+            e2e_ok, e2e_message = bench_sampling.check_e2e_floor(
+                current, floor=args.e2e_floor)
+            print(e2e_message)
+            if not (skim_ok and e2e_ok):
+                return 1
+        return 0
+
+    out = Path(args.out) if args.out else bench_sampling.DEFAULT_PATH
+    bench_sampling.write_record(current, path=out)
+    print(f"results written to {out}", file=sys.stderr)
+    return 0
+
+
 def cmd_profile(args) -> int:
     """``repro profile SCHEME[:PROFILE[:INSTS]]``: cProfile one simulation
     point and report the top-N functions by cumulative time."""
@@ -331,6 +374,8 @@ def cmd_profile(args) -> int:
         print(f"unknown benchmark {profile_name!r}; use one of: "
               f"{', '.join(sorted(BENCHMARKS))}", file=sys.stderr)
         return 1
+    if args.sampled is not None:
+        return _cmd_profile_sampled(args, scheme, profile_name, insts)
 
     from repro.pipeline.processor import IterSource, Processor
 
@@ -358,6 +403,81 @@ def cmd_profile(args) -> int:
     print(f"{scheme}:{profile_name}:{insts}  {label}  "
           f"cycles={processor.stats.cycles}  "
           f"skipped={processor.cycles_skipped}")
+    return 0
+
+
+def _cmd_profile_sampled(args, scheme: str, profile_name: str,
+                         insts: int) -> int:
+    """``repro profile --sampled``: cProfile one interval-sampled point
+    and attribute its wall time to the engine's phases — skim,
+    fast-forward (warming) and detailed windows — before the usual
+    top-N function listing."""
+    import cProfile
+    import pstats
+    import time
+
+    from repro.harness.cache import TraceStream
+    from repro.pipeline.processor import Processor
+    from repro.sampling import as_schedule, sampled_simulate
+    from repro.sampling.warmer import FunctionalWarmer
+    from repro.workloads.trace_codec import encode
+
+    stream_insts = list(SyntheticWorkload(BENCHMARKS[profile_name],
+                                          total_insts=insts, seed=args.seed))
+    stream = TraceStream(encode(stream_insts), insts)
+    stream.columns()  # parse outside the profiled region
+    config = MachineConfig(scheme=scheme, verify_values=False)
+
+    phases = {"skim": 0.0, "fast_forward": 0.0, "window": 0.0}
+    calls = {"skim": 0, "fast_forward": 0, "window": 0}
+    originals = (("skim", FunctionalWarmer, "skim"),
+                 ("fast_forward", FunctionalWarmer, "fast_forward"),
+                 ("window", Processor, "run"))
+
+    def attributed(name, fn):
+        def wrapper(*wargs, **kwargs):
+            start = time.perf_counter()
+            try:
+                return fn(*wargs, **kwargs)
+            finally:
+                phases[name] += time.perf_counter() - start
+                calls[name] += 1
+        return wrapper
+
+    saved = [(cls, attr, getattr(cls, attr)) for _, cls, attr in originals]
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    try:
+        for name, cls, attr in originals:
+            setattr(cls, attr, attributed(name, getattr(cls, attr)))
+        profiler.enable()
+        stats = sampled_simulate(
+            config, stream, schedule=as_schedule(args.sampled,
+                                                 seed=args.seed),
+            total_insts=insts)
+        profiler.disable()
+    finally:
+        for cls, attr, fn in saved:
+            setattr(cls, attr, fn)
+    total = time.perf_counter() - start
+
+    other = total - sum(phases.values())
+    print(f"{scheme}:{profile_name}:{insts}  sampled [{args.sampled}]  "
+          f"windows={stats.windows}  "
+          f"fast-forwarded={stats.insts_fast_forwarded}  "
+          f"total {total * 1e3:.1f}ms")
+    for name in ("skim", "fast_forward", "window"):
+        share = 100.0 * phases[name] / total if total else 0.0
+        print(f"  {name:14s} {phases[name] * 1e3:8.1f}ms  {share:5.1f}%  "
+              f"({calls[name]} calls)")
+    print(f"  {'other':14s} {other * 1e3:8.1f}ms  "
+          f"{100.0 * other / total if total else 0.0:5.1f}%  "
+          f"(setup, materialize, scaling)")
+
+    if args.out:
+        profiler.dump_stats(args.out)
+        print(f"profile written to {args.out}", file=sys.stderr)
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.top)
     return 0
 
 
@@ -644,7 +764,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="run one benchmark profile; with no name, run the "
         "cycle-loop throughput benchmark (BENCH_cycleloop.json); with "
-        "'sweep', run the sweep data-plane benchmark (BENCH_sweep.json)")
+        "'sweep', run the sweep data-plane benchmark (BENCH_sweep.json); "
+        "with 'sample', run the sampled-simulation benchmark "
+        "(BENCH_sampling.json)")
     p_bench.add_argument("name", nargs="?", default=None)
     p_bench.add_argument("--insts", type=int, default=20_000)
     p_bench.add_argument("--seed", type=int, default=1)
@@ -676,6 +798,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--sampled-floor", type=float, default=3.0,
                          help="cycle-loop bench --quick: minimum sampled/"
                               "exact sharing-scheme speedup (default 3.0)")
+    p_bench.add_argument("--skim-floor", type=float, default=5.0,
+                         help="sample bench --quick: minimum columnar/"
+                              "per-inst skim speedup before CI fails")
+    p_bench.add_argument("--e2e-floor", type=float, default=1.0,
+                         help="sample bench --quick: minimum worst-scheme "
+                              "end-to-end columnar speedup before CI fails")
     _machine_args(p_bench)
     _sampling_args(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
@@ -689,6 +817,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--seed", type=int, default=1)
     p_prof.add_argument("--out", default=None, metavar="PATH",
                         help="also dump the raw pstats file to PATH")
+    p_prof.add_argument("--sampled", nargs="?", const="2000:150:100",
+                        default=None, metavar="P:W:U",
+                        help="profile the interval-sampled engine instead "
+                             "of the exact cycle loop, attributing time "
+                             "to the skim / fast-forward / window phases "
+                             "(optional schedule, default 2000:150:100)")
     p_prof.set_defaults(fn=cmd_profile)
 
     p_cmp = sub.add_parser("compare", help="baseline vs proposed sweep")

@@ -23,7 +23,18 @@ from repro.codegen.generator import GENERATOR_VERSION
 
 
 def kernel_fingerprint(config) -> str:
-    """Stable hex key identifying the kernel for ``config``."""
+    """Stable hex key identifying the kernel for ``config``.
+
+    Memoised on the config instance (configs are treated as immutable —
+    edits go through ``dataclasses.replace``, which builds a new
+    instance): the sampling engine constructs one short-lived window
+    processor per measured window, and recomputing ``asdict`` + JSON +
+    SHA-256 per ``run()`` call was a measurable slice of sampled wall
+    time.  Same pattern as :meth:`MachineConfig.opcode_table`.
+    """
+    cached = getattr(config, "_kernel_fp", None)
+    if cached is not None:
+        return cached
     from repro.harness.cache import code_fingerprint
 
     payload = {
@@ -33,4 +44,6 @@ def kernel_fingerprint(config) -> str:
         "code": code_fingerprint(),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+    key = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+    object.__setattr__(config, "_kernel_fp", key)
+    return key

@@ -175,33 +175,39 @@ class BranchUnit:
 
     def observe(self, dyn: DynInst) -> bool:
         """Predict the fetched branch ``dyn``; returns prediction correctness."""
-        info = dyn.info
+        return self.observe_packed(dyn.info, dyn.pc, dyn.taken, dyn.next_pc)
+
+    def observe_packed(self, info, pc: int, taken: bool,
+                       next_pc: int) -> bool:
+        """:meth:`observe` on unpacked fields — the columnar fast-forward
+        path trains the predictor straight from packed trace columns, so
+        no :class:`DynInst` is required."""
         self.stats.branches += 1
         correct = True
 
         if info.is_return:
             predicted_target = self.ras.pop()
-            correct = predicted_target == dyn.next_pc
+            correct = predicted_target == next_pc
         elif info.is_cond:
-            pred_taken = self.direction.predict(dyn.pc)
-            self.direction.update(dyn.pc, dyn.taken)
-            if pred_taken != dyn.taken:
+            pred_taken = self.direction.predict(pc)
+            self.direction.update(pc, taken)
+            if pred_taken != taken:
                 correct = False
-            elif dyn.taken:
-                correct = self._check_target(dyn)
+            elif taken:
+                correct = self._check_target(pc, next_pc)
         else:  # unconditional jump / call
-            correct = self._check_target(dyn)
+            correct = self._check_target(pc, next_pc)
 
         if info.is_call:
-            self.ras.push(dyn.pc + 1)
+            self.ras.push(pc + 1)
         if not correct:
             self.stats.mispredicted += 1
         return correct
 
-    def _check_target(self, dyn: DynInst) -> bool:
-        target = self.btb.lookup(dyn.pc)
-        hit = target == dyn.next_pc
+    def _check_target(self, pc: int, next_pc: int) -> bool:
+        target = self.btb.lookup(pc)
+        hit = target == next_pc
         if target is None:
             self.stats.btb_misses += 1
-        self.btb.update(dyn.pc, dyn.next_pc)
+        self.btb.update(pc, next_pc)
         return hit

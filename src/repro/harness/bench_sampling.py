@@ -1,0 +1,303 @@
+"""Sampled-simulation benchmark (``repro bench sample`` / BENCH_sampling.json).
+
+Measures what the columnar fast-forward path promises: that the sampling
+engine can skip over packed traces without materializing
+:class:`~repro.isa.dyninst.DynInst` objects.  Three layers are timed,
+each columnar against the per-inst reference path (which pays a full
+column materialization per pass — exactly what the engine paid before
+the columnar source existed):
+
+* **skim** — branch-predictor-only training over the whole trace.  The
+  columnar side is a branch-index scan that touches only the branch
+  instructions (typically < 10% of the stream), so this is where the
+  zero-materialization design pays off hardest; ``check_skim_floor``
+  guards its speedup in CI.
+* **fast-forward** — full warming (branch + i-fetch lines + d-cache),
+  untracked (conventional) and tracked (sharing; adds the def-use
+  model, which inherently walks every instruction).
+* **end-to-end** — :func:`~repro.sampling.engine.sampled_simulate` per
+  scheme on the standard schedule.  Detailed-window simulation is
+  common-mode between both sides, so this multiple is structurally much
+  smaller than the skim one; ``check_e2e_floor`` only asserts the
+  columnar path never *loses* to the per-inst path.
+
+Both sides of every comparison run in the same process on the same
+machine (self-relative, no committed-reference drift), and the warming
+comparisons re-assert bit-identity of the warmed state while they are at
+it.  A ``no_numpy`` sub-record re-times the warming layer with the
+``REPRO_NO_NUMPY`` kill switch engaged, so the stdlib fallback's cost is
+on record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Optional
+
+#: default location of the committed benchmark record (repo root)
+DEFAULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_sampling.json"
+
+#: CI floor: columnar skim speedup over the per-inst path
+SKIM_FLOOR = 5.0
+
+#: CI floor: worst-scheme end-to-end sampled speedup, columnar vs
+#: per-inst.  Windows dominate the end-to-end time and are common-mode,
+#: so this floor only asserts "columnar never regresses end-to-end";
+#: the committed full record shows the actual multiples per scheme.
+E2E_FLOOR = 1.0
+
+BENCH_SCHEMES = ("conventional", "sharing", "hinted", "early")
+
+#: end-to-end schedule: the window gap (period - window - warmup) is
+#: smaller than the engine's warm zone, so every skipped instruction
+#: gets full warming — the hardest regime for the columnar path
+E2E_SAMPLING = "2000:150:100"
+
+BENCH_PROFILE = "hmmer"
+
+
+@contextmanager
+def _env(**overrides):
+    """Set (value) / unset (None) environment variables, restoring after."""
+    saved = {key: os.environ.get(key) for key in overrides}
+    try:
+        for key, value in overrides.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _trace(profile: str, insts: int, seed: int):
+    """(TraceStream, parsed TraceColumns) for one workload."""
+    from repro.harness.cache import TraceStream
+    from repro.workloads import BENCHMARKS
+    from repro.workloads.generator import SyntheticWorkload
+    from repro.workloads.trace_codec import encode
+
+    stream_insts = list(SyntheticWorkload(BENCHMARKS[profile],
+                                          total_insts=insts, seed=seed))
+    stream = TraceStream(encode(stream_insts), insts)
+    return stream, stream.columns()
+
+
+def _warmer(scheme: str, profile: str, with_hierarchy: bool = True):
+    from repro.frontend.branch_predictor import BranchUnit
+    from repro.harness.runner import make_config
+    from repro.sampling.warmer import FunctionalWarmer
+    from repro.workloads import BENCHMARKS
+
+    config = make_config(BENCHMARKS[profile], scheme, 64)
+    branch_unit = BranchUnit(kind=config.branch_predictor,
+                             table_size=config.predictor_table,
+                             btb_entries=config.btb_entries,
+                             ras_depth=config.ras_depth)
+    hierarchy = config.make_hierarchy() if with_hierarchy else None
+    return FunctionalWarmer(config, branch_unit, hierarchy=hierarchy)
+
+
+def _best(reps: int, fn) -> float:
+    return min(fn() for _ in range(reps))
+
+
+def bench_warming(profile: str = BENCH_PROFILE, insts: int = 20_000,
+                  seed: int = 1, reps: int = 3) -> dict:
+    """Skim and fast-forward throughput, columnar vs per-inst.
+
+    The per-inst side's timed region includes the column
+    materialization, because that is what every pass paid before the
+    columnar source existed (the engine consumed ``iter(stream)``).
+    """
+    from repro.sampling.engine import _ColumnarSource, _SampledSource
+
+    stream, cols = _trace(profile, insts, seed)
+
+    def measure(scheme: str, method: str, with_hierarchy: bool) -> dict:
+        def per_inst() -> float:
+            warmer = _warmer(scheme, profile, with_hierarchy)
+            start = time.perf_counter()
+            it = iter(cols.materialize())
+            source = _SampledSource(lambda: next(it, None))
+            getattr(warmer, method)(source, insts)
+            return time.perf_counter() - start
+
+        def columnar() -> float:
+            warmer = _warmer(scheme, profile, with_hierarchy)
+            start = time.perf_counter()
+            getattr(warmer, method)(_ColumnarSource(cols), insts)
+            return time.perf_counter() - start
+
+        ref_s = _best(reps, per_inst)
+        col_s = _best(reps, columnar)
+        return {
+            "per_inst_insts_per_sec": round(insts / ref_s, 1),
+            "columnar_insts_per_sec": round(insts / col_s, 1),
+            "per_inst_ms": round(ref_s * 1e3, 2),
+            "columnar_ms": round(col_s * 1e3, 2),
+            "speedup": round(ref_s / col_s, 2),
+        }
+
+    return {
+        "profile": profile,
+        "insts": insts,
+        "branches": len(cols.branch_indices()),
+        "skim": measure("conventional", "skim", with_hierarchy=False),
+        "fast_forward": measure("conventional", "fast_forward",
+                                with_hierarchy=True),
+        "fast_forward_tracked": measure("sharing", "fast_forward",
+                                        with_hierarchy=True),
+    }
+
+
+def bench_e2e(scheme: str, profile: str = BENCH_PROFILE,
+              insts: int = 20_000, seed: int = 1, reps: int = 3,
+              spec: str = E2E_SAMPLING) -> dict:
+    """End-to-end sampled run, columnar vs per-inst, same estimate.
+
+    Raises if the two paths' :class:`SampledStats` differ — the speedup
+    of a wrong answer is not worth recording.
+    """
+    from repro.harness.runner import make_config
+    from repro.sampling import as_schedule, sampled_simulate
+    from repro.workloads import BENCHMARKS
+
+    stream, cols = _trace(profile, insts, seed)
+    config_args = (BENCHMARKS[profile], scheme, 64)
+
+    ref_stats = col_stats = None
+
+    def per_inst() -> float:
+        nonlocal ref_stats
+        start = time.perf_counter()
+        ref_stats = sampled_simulate(make_config(*config_args),
+                                     iter(cols.materialize()),
+                                     schedule=as_schedule(spec, seed=seed),
+                                     total_insts=insts)
+        return time.perf_counter() - start
+
+    def columnar() -> float:
+        nonlocal col_stats
+        start = time.perf_counter()
+        col_stats = sampled_simulate(make_config(*config_args), stream,
+                                     schedule=as_schedule(spec, seed=seed),
+                                     total_insts=insts)
+        return time.perf_counter() - start
+
+    ref_s = _best(reps, per_inst)
+    col_s = _best(reps, columnar)
+    assert ref_stats is not None and col_stats is not None
+    if ref_stats.to_dict() != col_stats.to_dict():
+        raise RuntimeError(
+            f"columnar sampled stats diverged from the per-inst path "
+            f"({scheme}, {profile}, {spec})")
+    return {
+        "spec": spec,
+        "windows": col_stats.windows,
+        "ipc": round(col_stats.ipc, 4),
+        "per_inst_insts_per_sec": round(insts / ref_s, 1),
+        "columnar_insts_per_sec": round(insts / col_s, 1),
+        "per_inst_ms": round(ref_s * 1e3, 2),
+        "columnar_ms": round(col_s * 1e3, 2),
+        "speedup": round(ref_s / col_s, 2),
+    }
+
+
+def run_bench(quick: bool = False, profile: str = BENCH_PROFILE,
+              seed: int = 1) -> dict:
+    """Benchmark the sampled-simulation path; returns ``current``."""
+    from repro.workloads.trace_codec import numpy_backend
+
+    insts = 8_000 if quick else 20_000
+    reps = 2 if quick else 3
+
+    warming = bench_warming(profile, insts, seed, reps)
+    with _env(REPRO_NO_NUMPY="1"):
+        no_numpy = bench_warming(profile, insts, seed, reps)
+    schemes = {scheme: bench_e2e(scheme, profile, insts, seed, reps)
+               for scheme in BENCH_SCHEMES}
+
+    return {
+        "meta": {"profile": profile, "seed": seed, "insts": insts,
+                 "reps": reps, "quick": quick, "sampling": E2E_SAMPLING,
+                 "numpy": numpy_backend() is not None},
+        "warming": warming,
+        "warming_no_numpy": no_numpy,
+        "schemes": schemes,
+    }
+
+
+def load_record(path: Path = DEFAULT_PATH) -> Optional[dict]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def diff_against(record: Optional[dict], current: dict) -> list[str]:
+    """Human-readable summary, with deltas vs the committed record."""
+    lines = []
+    for layer in ("skim", "fast_forward", "fast_forward_tracked"):
+        row = current["warming"][layer]
+        gated = current["warming_no_numpy"][layer]
+        lines.append(
+            f"{layer:21s} {row['columnar_insts_per_sec']:12,.0f} insts/s "
+            f"({row['speedup']:6.2f}x per-inst, "
+            f"{gated['speedup']:.2f}x without numpy)")
+    committed = ((record or {}).get("current") or {}).get("schemes", {})
+    for scheme, row in current["schemes"].items():
+        line = (f"e2e {scheme:17s} {row['columnar_insts_per_sec']:12,.0f} "
+                f"insts/s ({row['speedup']:6.2f}x per-inst, "
+                f"{row['windows']} windows [{row['spec']}])")
+        old = committed.get(scheme, {}).get("speedup")
+        if old:
+            line += f" (committed {old:.2f}x)"
+        lines.append(line)
+    return lines
+
+
+def check_skim_floor(current: dict,
+                     floor: float = SKIM_FLOOR) -> tuple[bool, str]:
+    """CI guard: the columnar skim must beat the per-inst path by
+    ``floor``x — it scans only the branch index instead of
+    materializing and walking the whole stream."""
+    speedup = current["warming"]["skim"]["speedup"]
+    if speedup < floor:
+        return False, (
+            f"columnar skim is only {speedup:.2f}x faster than the "
+            f"per-inst path (floor {floor:.1f}x): the branch-index scan "
+            f"has regressed")
+    return True, (f"columnar skim speedup {speedup:.2f}x >= "
+                  f"floor {floor:.1f}x")
+
+
+def check_e2e_floor(current: dict,
+                    floor: float = E2E_FLOOR) -> tuple[bool, str]:
+    """CI guard: no scheme's end-to-end sampled run may fall behind the
+    per-inst path (windows are common-mode, so even the worst scheme
+    must at least break even on the fast-forward savings)."""
+    worst_scheme, worst = min(current["schemes"].items(),
+                              key=lambda item: item[1]["speedup"])
+    if worst["speedup"] < floor:
+        return False, (
+            f"end-to-end sampled {worst_scheme} runs {worst['speedup']:.2f}x "
+            f"vs the per-inst path (floor {floor:.1f}x): the columnar "
+            f"source is slower than materializing everything")
+    return True, (f"end-to-end worst-scheme ({worst_scheme}) speedup "
+                  f"{worst['speedup']:.2f}x >= floor {floor:.1f}x")
+
+
+def write_record(current: dict, path: Path = DEFAULT_PATH) -> dict:
+    out = {"current": current}
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    return out

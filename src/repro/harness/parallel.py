@@ -161,8 +161,11 @@ def simulate_point(point: SweepPoint):
     config = make_config(point.profile, point.scheme, point.size,
                          port_scheme=point.port_scheme)
     if point.sampling is not None:
-        # total_insts anchors the sampling schedule and scaling ratio
-        return simulate(config, iter(workload), max_insts=point.insts,
+        # total_insts anchors the sampling schedule and scaling ratio.
+        # Pass the stream itself (not an iterator): the sampling engine
+        # fast-forwards straight over a binary stream's packed columns
+        # and only materializes DynInsts for warm zones and windows.
+        return simulate(config, workload, max_insts=point.insts,
                         sampling=point.sampling, sampling_seed=point.seed)
     return simulate(config, iter(workload))
 

@@ -75,9 +75,143 @@ class _SampledSource:
         self.consumed += 1
         return dyn
 
+    def take_batch(self, n: int) -> list:
+        """Up to ``n`` instructions in one call.
+
+        The fast-forward paths consume the stream through this instead of
+        paying a Python-level :meth:`take` call per skimmed instruction.
+        Exhaustion semantics mirror a ``take()`` loop exactly: the flag is
+        set only when the request reaches *past* the limit or the stream
+        end, never when it merely lands on it.
+        """
+        if self.exhausted or n <= 0:
+            return []
+        cap = n
+        if self.limit is not None:
+            remaining = self.limit - self.consumed
+            if remaining <= 0:
+                self.exhausted = True
+                return []
+            if remaining < cap:
+                cap = remaining
+        take = self._take
+        out: list = []
+        append = out.append
+        for _ in range(cap):
+            dyn = take()
+            if dyn is None:
+                self.exhausted = True
+                break
+            append(dyn)
+        self.consumed += len(out)
+        if cap < n:
+            self.exhausted = True
+        return out
+
     # InstSource protocol (window processors fetch through the same counter)
     def next_inst(self) -> Optional[DynInst]:
         return self.take()
+
+
+class _ColumnarSource:
+    """Zero-materialization counting source over parsed trace columns.
+
+    Fast-forward consumes *index ranges* (:meth:`advance`) that the
+    warmer scans straight from the packed columns — skimmed instructions
+    never become Python objects at all.  Only detailed windows (and
+    their in-flight overshoot) materialize :class:`DynInst` objects,
+    chunk-wise, via :meth:`~repro.workloads.trace_codec.TraceColumns.
+    materialize_range`.  Exhaustion semantics mirror
+    :class:`_SampledSource` exactly: the flag is set when a request
+    reaches *past* the stream end or the limit, never when it merely
+    lands on it — the engine's loop structure (and therefore the
+    resulting :class:`SampledStats`) is bit-identical either way.
+    """
+
+    __slots__ = ("cols", "limit", "consumed", "exhausted", "_buf",
+                 "_buf_base")
+
+    #: instructions materialized per window-side buffer refill; one
+    #: window (warmup + detail + in-flight overshoot) typically fits
+    CHUNK = 512
+
+    def __init__(self, cols, limit: Optional[int] = None) -> None:
+        self.cols = cols
+        # a limit beyond the stream end and the stream end itself exhaust
+        # identically (reading past either sets the flag), so fold them
+        self.limit = cols.count if limit is None else min(limit, cols.count)
+        self.consumed = 0
+        self.exhausted = False
+        self._buf: list = []
+        self._buf_base = 0
+
+    def advance(self, count: int) -> tuple[int, int]:
+        """Consume ``count`` stream positions for warming; returns the
+        ``(lo, hi)`` index range actually consumed."""
+        lo = self.consumed
+        if self.exhausted or count <= 0:
+            return lo, lo
+        avail = self.limit - lo
+        n = count if count <= avail else avail
+        hi = lo + n
+        self.consumed = hi
+        if count > avail:
+            self.exhausted = True
+        return lo, hi
+
+    def take(self) -> Optional[DynInst]:
+        if self.exhausted:
+            return None
+        consumed = self.consumed
+        if consumed >= self.limit:
+            self.exhausted = True
+            return None
+        i = consumed - self._buf_base
+        buf = self._buf
+        if 0 <= i < len(buf):
+            dyn = buf[i]
+        else:
+            self._buf_base = consumed
+            self._buf = buf = self.cols.materialize_range(
+                consumed, min(consumed + self.CHUNK, self.limit))
+            dyn = buf[0]
+        self.consumed = consumed + 1
+        return dyn
+
+    def take_batch(self, n: int) -> list:
+        if self.exhausted or n <= 0:
+            return []
+        lo = self.consumed
+        avail = self.limit - lo
+        if avail <= 0:
+            self.exhausted = True
+            return []
+        cap = n if n <= avail else avail
+        out = self.cols.materialize_range(lo, lo + cap)
+        self.consumed = lo + cap
+        if cap < n:
+            self.exhausted = True
+        return out
+
+    # InstSource protocol (window processors fetch through the same counter)
+    next_inst = take
+
+
+def _trace_columns(workload):
+    """Parsed :class:`TraceColumns` for workloads that carry them.
+
+    Accepts the columns object itself or any lazy handle with a
+    ``columns()`` accessor (:class:`~repro.harness.cache.TraceStream`);
+    returns ``None`` for everything else — those run the per-inst path.
+    """
+    if hasattr(workload, "materialize_range"):
+        return workload
+    columns = getattr(workload, "columns", None)
+    if callable(columns):
+        cols = columns()
+        if hasattr(cols, "materialize_range"):
+            return cols
+    return None
 
 
 def _window_metrics(delta: dict) -> tuple[int, int, float, float, float]:
@@ -134,8 +268,13 @@ def sampled_simulate(
     elif hasattr(workload, "next_inst"):
         source = _SampledSource(workload.next_inst, limit=total_insts)
     else:
-        it = iter(workload)
-        source = _SampledSource(lambda: next(it, None), limit=total_insts)
+        cols = _trace_columns(workload)
+        if cols is not None:
+            source = _ColumnarSource(cols, limit=total_insts)
+        else:
+            it = iter(workload)
+            source = _SampledSource(lambda: next(it, None),
+                                    limit=total_insts)
 
     branch_unit = BranchUnit(kind=config.branch_predictor,
                              table_size=config.predictor_table,

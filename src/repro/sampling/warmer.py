@@ -23,11 +23,16 @@ fast-forward only ever has to *bridge* the gaps between windows.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Optional
 
 from repro.frontend.branch_predictor import BranchUnit
 from repro.isa.dyninst import DynInst
 from repro.pipeline.config import MachineConfig
+from repro.workloads.trace_codec import F_TAKEN, OP_INFO_TABLE
+
+#: per-inst fallback batch size (one Python call per this many insts)
+_BATCH = 1024
 
 
 class _LiveValue:
@@ -61,6 +66,7 @@ class FunctionalWarmer:
         self._last_fetch_line = -1
         self.track = config.scheme in ("sharing", "hinted")
         self.live: dict = {}  # RegRef -> _LiveValue
+        self._first_use: list = []  # reused per-inst scratch (no allocs)
         if self.track:
             # probe renamer: guarantees the warmed tables match the window
             # renamers' predictor geometry exactly (banks, entries)
@@ -86,12 +92,19 @@ class FunctionalWarmer:
     def import_predictor_state(self, state: dict) -> None:
         if not self.track or not state:
             return
-        table = state.get("type_predictor")
-        if table is not None and len(table) == len(self.predictor.table):
-            self.predictor.table = list(table)
-        table = state.get("single_use")
-        if table is not None and len(table) == len(self.single_use.table):
-            self.single_use.table = list(table)
+        for name, target in (("type_predictor", self.predictor),
+                             ("single_use", self.single_use)):
+            table = state.get(name)
+            if table is None:
+                continue
+            if len(table) != len(target.table):
+                # a geometry mismatch silently discarding warmed state
+                # would corrupt every downstream window measurement
+                raise ValueError(
+                    f"{name} geometry mismatch: imported table has "
+                    f"{len(table)} entries, warmer expects "
+                    f"{len(target.table)}")
+            target.table = list(table)
 
     def reset_live(self) -> None:
         """Drop def-use records (a detailed window made them stale)."""
@@ -99,11 +112,36 @@ class FunctionalWarmer:
 
     # ------------------------------------------------------------------ fast-forward
     def fast_forward(self, source, count: int) -> int:
-        """Consume up to ``count`` instructions with full warming."""
+        """Consume up to ``count`` instructions with full warming.
+
+        Columnar sources (:class:`~repro.sampling.engine._ColumnarSource`)
+        are warmed straight from the packed trace columns without ever
+        materializing a :class:`DynInst`; everything else falls back to
+        batched per-instruction consumption.
+        """
+        cols = getattr(source, "cols", None)
+        if cols is not None:
+            lo, hi = source.advance(count)
+            if hi > lo:
+                if self.track:
+                    self._warm_columns_tracked(cols, lo, hi)
+                else:
+                    self._warm_columns(cols, lo, hi)
+            return hi - lo
         if self.track:
-            take = source.take
             observe = self.observe
             consumed = 0
+            take_batch = getattr(source, "take_batch", None)
+            if take_batch is not None:
+                while consumed < count:
+                    batch = take_batch(min(count - consumed, _BATCH))
+                    if not batch:
+                        break
+                    consumed += len(batch)
+                    for dyn in batch:
+                        observe(dyn)
+                return consumed
+            take = source.take
             for _ in range(count):
                 dyn = take()
                 if dyn is None:
@@ -112,27 +150,39 @@ class FunctionalWarmer:
                 consumed += 1
             return consumed
         # untracked schemes: branch + memory warming only, inlined
-        take = source.take
         branch_observe = self.branch_unit.observe
         hierarchy = self.hierarchy
         line_bytes = self._line_bytes
         consumed = 0
-        for _ in range(count):
-            dyn = take()
-            if dyn is None:
+        take_batch = getattr(source, "take_batch", None)
+        while consumed < count:
+            if take_batch is not None:
+                batch = take_batch(min(count - consumed, _BATCH))
+            else:
+                take = source.take
+                batch = []
+                for _ in range(count - consumed):
+                    dyn = take()
+                    if dyn is None:
+                        break
+                    batch.append(dyn)
+            if not batch:
                 break
-            consumed += 1
-            info = dyn.info
-            if info.is_branch:
-                branch_observe(dyn)
-            if hierarchy is None:
-                continue
-            line = dyn.pc // line_bytes
-            if line != self._last_fetch_line:
-                self._last_fetch_line = line
-                hierarchy.inst_fetch(dyn.pc, False, 0)
-            if dyn.mem_addr is not None and (info.is_load or info.is_store):
-                hierarchy.data_access(dyn.pc, dyn.mem_addr, info.is_store, 0)
+            consumed += len(batch)
+            for dyn in batch:
+                info = dyn.info
+                if info.is_branch:
+                    branch_observe(dyn)
+                if hierarchy is None:
+                    continue
+                line = dyn.pc // line_bytes
+                if line != self._last_fetch_line:
+                    self._last_fetch_line = line
+                    hierarchy.inst_fetch(dyn.pc, False, 0)
+                if dyn.mem_addr is not None \
+                        and (info.is_load or info.is_store):
+                    hierarchy.data_access(dyn.pc, dyn.mem_addr,
+                                          info.is_store, 0)
         return consumed
 
     def skim(self, source, count: int) -> int:
@@ -142,49 +192,189 @@ class FunctionalWarmer:
         cache/def-use warming would be overwritten before it is sampled
         — the engine switches to :meth:`fast_forward` for the warming
         zone directly preceding each window.
+
+        Over a columnar source this is a branch-index scan: only the
+        branch instructions of the skipped range are ever touched.
         """
-        take = source.take
-        branch_unit = self.branch_unit
-        consumed = 0
-        for _ in range(count):
-            dyn = take()
-            if dyn is None:
-                break
-            if dyn.info.is_branch:
-                branch_unit.observe(dyn)
-            consumed += 1
+        cols = getattr(source, "cols", None)
+        if cols is not None:
+            lo, hi = source.advance(count)
+            consumed = hi - lo
+            if consumed:
+                self._skim_columns(cols, lo, hi)
+        else:
+            branch_unit = self.branch_unit
+            consumed = 0
+            take_batch = getattr(source, "take_batch", None)
+            if take_batch is not None:
+                observe = branch_unit.observe
+                while consumed < count:
+                    batch = take_batch(min(count - consumed, _BATCH))
+                    if not batch:
+                        break
+                    consumed += len(batch)
+                    for dyn in batch:
+                        if dyn.info.is_branch:
+                            observe(dyn)
+            else:
+                take = source.take
+                for _ in range(count):
+                    dyn = take()
+                    if dyn is None:
+                        break
+                    if dyn.info.is_branch:
+                        branch_unit.observe(dyn)
+                    consumed += 1
         if consumed and self.track:
             # def-use records refer to values the skim skipped over
             self.live.clear()
         return consumed
 
+    # ------------------------------------------------------------ columnar
+    def _skim_columns(self, cols, lo: int, hi: int) -> None:
+        """Branch-predictor training for ``[lo, hi)`` from the columns."""
+        idx = cols.branch_indices()
+        a = bisect_left(idx, lo)
+        b = bisect_left(idx, hi)
+        if a == b:
+            return
+        observe = self.branch_unit.observe_packed
+        infos = OP_INFO_TABLE
+        ops = cols.op_bytes
+        flags = cols.flags
+        pcs = cols.pcs
+        next_pcs = cols.next_pcs
+        for i in idx[a:b]:
+            observe(infos[ops[i]], pcs[i], (flags[i] & F_TAKEN) != 0,
+                    next_pcs[i])
+
+    def _warm_columns(self, cols, lo: int, hi: int) -> None:
+        """Untracked full warming for ``[lo, hi)`` from the columns.
+
+        Walks a three-way merge of the branch / fetch-line-start / memory
+        event indexes instead of every instruction.  Event order within
+        one instruction is branch, then i-fetch line check, then data
+        access — the same order as the per-inst path, which matters
+        because the hierarchy's LRU, prefetcher and writeback state are
+        order-dependent.
+        """
+        observe = self.branch_unit.observe_packed
+        infos = OP_INFO_TABLE
+        ops = cols.op_bytes
+        flags = cols.flags
+        pcs = cols.pcs
+        next_pcs = cols.next_pcs
+        bidx = cols.branch_indices()
+        blist = bidx[bisect_left(bidx, lo):bisect_left(bidx, hi)]
+        hierarchy = self.hierarchy
+        if hierarchy is None:
+            for i in blist:
+                observe(infos[ops[i]], pcs[i], (flags[i] & F_TAKEN) != 0,
+                        next_pcs[i])
+            return
+        line_bytes = self._line_bytes
+        mem_addrs = cols.mem_addrs
+        fidx = cols.fetch_line_starts(line_bytes)
+        flist = fidx[bisect_left(fidx, lo):bisect_left(fidx, hi)]
+        if not flist or flist[0] != lo:
+            # the range may start mid-run: index lo still needs its line
+            # check against the tracking carried in from before the range
+            flist.insert(0, lo)
+        midx = cols.mem_indices()
+        mlist = midx[bisect_left(midx, lo):bisect_left(midx, hi)]
+        inst_fetch = hierarchy.inst_fetch
+        data_access = hierarchy.data_access
+        last_line = self._last_fetch_line
+        nb, nf, nm = len(blist), len(flist), len(mlist)
+        ib = jf = km = 0
+        while True:
+            b = blist[ib] if ib < nb else hi
+            f = flist[jf] if jf < nf else hi
+            m = mlist[km] if km < nm else hi
+            i = b if b <= f else f
+            if m < i:
+                i = m
+            if i >= hi:
+                break
+            if b == i:
+                observe(infos[ops[i]], pcs[i], (flags[i] & F_TAKEN) != 0,
+                        next_pcs[i])
+                ib += 1
+            if f == i:
+                # conditional for every event: a run start always differs
+                # from the previous line, so this only ever filters the
+                # synthetic event at lo — exactly the per-inst behaviour
+                line = pcs[i] // line_bytes
+                if line != last_line:
+                    last_line = line
+                    inst_fetch(pcs[i], False, 0)
+                jf += 1
+            if m == i:
+                data_access(pcs[i], mem_addrs[i],
+                            infos[ops[i]].is_store, 0)
+                km += 1
+        self._last_fetch_line = last_line
+
+    def _warm_columns_tracked(self, cols, lo: int, hi: int) -> None:
+        """Tracked (sharing/hinted) full warming for ``[lo, hi)``.
+
+        Branch and hierarchy warming go through the same event merge as
+        the untracked path; the def-use model — which needs every
+        instruction's sources and destination — runs as a second,
+        tracking-only pass.  The two passes mutate disjoint state
+        (branch unit / caches / fetch-line tracking vs. live set /
+        type and single-use predictor tables) and neither reads the
+        other's, so the phase split leaves every table bit-identical to
+        the per-inst interleaved order.
+        """
+        self._warm_columns(cols, lo, hi)
+        track = self._track_fields
+        pcs = cols.pcs
+        srcss = cols.srcss
+        dests = cols.dests
+        for i in range(lo, hi):
+            track(pcs[i], srcss[i], dests[i])
+
     def observe(self, dyn: DynInst) -> None:
         """Warm the predictors with one architecturally executed inst."""
-        info = dyn.info
-        pc = dyn.pc
+        self.observe_fields(dyn.info, dyn.pc, dyn.taken, dyn.next_pc,
+                            dyn.mem_addr, dyn.srcs, dyn.dest)
+
+    def observe_fields(self, info, pc: int, taken, next_pc: int,
+                       mem_addr, srcs, dest) -> None:
+        """:meth:`observe` on unpacked fields — shared by the per-inst
+        and columnar warming paths, so their predictor-training sequences
+        are identical by construction."""
         if info.is_branch:
-            self.branch_unit.observe(dyn)
+            self.branch_unit.observe_packed(info, pc, taken, next_pc)
         hierarchy = self.hierarchy
         if hierarchy is not None:
             line = pc // self._line_bytes
             if line != self._last_fetch_line:
                 self._last_fetch_line = line
                 hierarchy.inst_fetch(pc, False, 0)
-            if dyn.mem_addr is not None and (info.is_load or info.is_store):
-                hierarchy.data_access(pc, dyn.mem_addr, info.is_store, 0)
-        if not self.track:
+            if mem_addr is not None and (info.is_load or info.is_store):
+                hierarchy.data_access(pc, mem_addr, info.is_store, 0)
+        if self.track:
+            self._track_fields(pc, srcs, dest)
+
+    def _track_fields(self, pc: int, srcs, dest) -> None:
+        """One instruction's def-use tracking (type/single-use predictor
+        training) — the tracking half of :meth:`observe_fields`, shared
+        by the per-inst and columnar paths."""
+        if dest is None and not srcs:
             return
         live = self.live
         predictor = self.predictor
         single_use = self.single_use
 
         # ---- sources: consumer counting + stale-value repairs -------------
-        first_use: list[tuple] = []  # (RegRef, _LiveValue)
-        seen: list = []
-        for src in dyn.srcs:
-            if src in seen:  # same operand twice (e.g. ADD r1, r1, r1)
-                continue
-            seen.append(src)
+        first_use = self._first_use  # (RegRef, _LiveValue) scratch
+        first_use.clear()
+        for j, src in enumerate(srcs):
+            if j and (src == srcs[0]
+                      or (j >= 2 and src in srcs[1:j])):
+                continue  # same operand twice (e.g. ADD r1, r1, r1)
             rec = live.get(src)
             if rec is None:
                 continue
@@ -212,7 +402,6 @@ class FunctionalWarmer:
                     predictor.on_extra_use(rec.alloc_index)
 
         # ---- destination: reuse-chain / allocation modelling ---------------
-        dest = dyn.dest
         if dest is None:
             return
         old = live.get(dest)

@@ -47,13 +47,33 @@ reconstructed, bit for bit — the hypothesis property in
 from __future__ import annotations
 
 import hashlib
+import os
 import struct
 import zlib
 from typing import Iterable, Iterator, List, Optional
 
 from repro.isa.dyninst import DynInst
-from repro.isa.opcodes import Op
+from repro.isa.opcodes import OPCODES, Op
 from repro.isa.registers import INT_REGS, RegClass, RegRef
+
+try:  # optional acceleration only; the codec itself is stdlib-only
+    import numpy as _np
+except ImportError:  # pragma: no cover - depends on the environment
+    _np = None
+
+
+def numpy_backend():
+    """The numpy module, or ``None`` when absent or disabled.
+
+    Checked at use time (not import time) so ``REPRO_NO_NUMPY=1`` can be
+    flipped per call site in tests; every numpy result is converted back
+    to plain Python ints (``.tolist()``) so the accelerated and stdlib
+    paths are indistinguishable downstream.
+    """
+    if _np is not None and os.environ.get("REPRO_NO_NUMPY", "") in ("", "0"):
+        return _np
+    return None
+
 
 MAGIC = b"RTRC"
 FORMAT_VERSION = 1
@@ -74,6 +94,23 @@ _BAD_REG = object()
 _DEST_TABLE = (list(_REG_TABLE)
                + [_BAD_REG] * (_NO_REG - len(_REG_TABLE)) + [None])
 
+#: static metadata by op *byte* (columnar scans never build Op objects)
+_INFO_TABLE = tuple(OPCODES[op] for op in _OP_LIST)
+
+#: public alias for columnar consumers (the sampling warmer)
+OP_INFO_TABLE = _INFO_TABLE
+
+#: ``bytes.translate`` tables marking instruction classes: byte -> 1/0.
+#: Classifying a whole op column is then one C-level translate call.
+_BRANCH_MARKS = bytes(
+    1 if b < len(_OP_LIST) and _INFO_TABLE[b].is_branch else 0
+    for b in range(256))
+_MEM_MARKS = bytes(
+    1 if b < len(_OP_LIST) and _INFO_TABLE[b].is_mem else 0
+    for b in range(256))
+
+_ONE = b"\x01"
+
 #: per-instruction flag bits
 _F_TAKEN = 1
 _F_FAULTS = 2
@@ -82,11 +119,37 @@ _F_TARGET = 8
 _F_HSRCS = 16
 _F_HDEPTH = 32
 
+#: public alias: the taken bit of the packed flags column
+F_TAKEN = _F_TAKEN
+
 #: value tags of the tagged columns
 _T_I64 = 1
 _T_F64 = 2
 _T_BOOL = 3
 _T_BIG = 4
+
+#: flag -> translate table marking instructions carrying that flag bit,
+#: for O(1)-per-query prefix counts over the packed flags column
+_FLAG_MARKS = {
+    flag: bytes(1 if b & flag else 0 for b in range(256))
+    for flag in (_F_HDEST, _F_TARGET, _F_HSRCS, _F_HDEPTH)
+}
+
+
+def _mark_indices(marks: bytes) -> list:
+    """Indices of the set bytes in a 0/1 marks string."""
+    np = numpy_backend()
+    if np is not None:
+        return np.flatnonzero(np.frombuffer(marks, dtype=np.uint8)).tolist()
+    out: list = []
+    append = out.append
+    find = marks.find
+    i = find(_ONE)
+    while i != -1:
+        append(i)
+        i = find(_ONE, i + 1)
+    return out
+
 
 _I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
 _U32_MAX = (1 << 32) - 1
@@ -387,22 +450,31 @@ class TraceColumns:
     re-running many sweep points on one workload cheap.
     """
 
-    __slots__ = ("count", "ops", "flags", "seqs", "pcs", "next_pcs",
-                 "dests", "srcss", "targets", "hsrcs", "hdepths", "imms",
-                 "mem_addrs", "store_values", "results", "src_valuess")
+    __slots__ = ("count", "ops", "op_bytes", "flags", "seqs", "pcs",
+                 "next_pcs", "dests", "srcss", "targets", "hsrcs",
+                 "hdepths", "imms", "mem_addrs", "store_values", "results",
+                 "src_valuess", "_pc_raw", "_branch_idx", "_mem_idx",
+                 "_fetch_runs", "_flag_mark_cache")
 
     def __init__(self, data: bytes) -> None:
         count, offset = _check_header(data)
         self.count = count
         reader = _Reader(data, offset)
         op_list = _OP_LIST
+        self.op_bytes = reader.bytes_(count)
         try:
-            self.ops = [op_list[b] for b in reader.bytes_(count)]
+            self.ops = [op_list[b] for b in self.op_bytes]
         except IndexError:
             raise TraceCodecError("opcode index out of range")
         self.flags = reader.bytes_(count)
         self.seqs = reader.array("I", count, 4)
-        self.pcs = reader.array("I", count, 4)
+        self._pc_raw = reader.bytes_(count * 4)
+        self.pcs = struct.unpack(f"<{count}I", self._pc_raw)
+        # range-scan caches, built lazily on first query
+        self._branch_idx: Optional[list] = None
+        self._mem_idx: Optional[list] = None
+        self._fetch_runs: dict = {}
+        self._flag_mark_cache: dict = {}
         self.next_pcs = reader.array("I", count, 4)
         dest_table = _DEST_TABLE
         self.dests = [dest_table[b] for b in reader.bytes_(count)]
@@ -480,19 +552,105 @@ class TraceColumns:
         if reader.pos != len(data):
             raise TraceCodecError("trailing bytes after trace payload")
 
+    # ------------------------------------------------------- range queries
+    def branch_indices(self) -> list:
+        """Sorted indices of the branch instructions (cached).
+
+        One C-level ``bytes.translate`` over the packed op column plus an
+        index scan — no :class:`DynInst` is ever built.
+        """
+        idx = self._branch_idx
+        if idx is None:
+            idx = self._branch_idx = _mark_indices(
+                self.op_bytes.translate(_BRANCH_MARKS))
+        return idx
+
+    def mem_indices(self) -> list:
+        """Sorted indices of loads/stores carrying a memory address."""
+        idx = self._mem_idx
+        if idx is None:
+            mem_addrs = self.mem_addrs
+            idx = self._mem_idx = [
+                i for i in _mark_indices(self.op_bytes.translate(_MEM_MARKS))
+                if mem_addrs[i] is not None]
+        return idx
+
+    def fetch_line_starts(self, line_bytes: int) -> list:
+        """Sorted indices where the i-fetch line changes (cached per size).
+
+        Index 0 is always a start; a consumer resuming mid-stream must
+        still compare its first event against its own line tracking,
+        because a range can begin inside a run.
+        """
+        starts = self._fetch_runs.get(line_bytes)
+        if starts is not None:
+            return starts
+        count = self.count
+        np = numpy_backend()
+        if np is not None:
+            lines = np.frombuffer(self._pc_raw, dtype="<u4") // line_bytes
+            starts = (np.flatnonzero(lines[1:] != lines[:-1]) + 1).tolist()
+            if count:
+                starts.insert(0, 0)
+        else:
+            starts = [0] if count else []
+            append = starts.append
+            pcs = self.pcs
+            last = pcs[0] // line_bytes if count else 0
+            for i in range(1, count):
+                line = pcs[i] // line_bytes
+                if line != last:
+                    last = line
+                    append(i)
+        self._fetch_runs[line_bytes] = starts
+        return starts
+
+    def flag_count_before(self, flag: int, lo: int) -> int:
+        """Instructions below index ``lo`` carrying ``flag`` (the position
+        of index ``lo``'s entry within that flag's sparse column)."""
+        marks = self._flag_mark_cache.get(flag)
+        if marks is None:
+            marks = self._flag_mark_cache[flag] = \
+                self.flags.translate(_FLAG_MARKS[flag])
+        return marks.count(_ONE, 0, lo)
+
+    # ------------------------------------------------------ materialization
     def materialize(self) -> List[DynInst]:
         """Fresh :class:`DynInst` objects for one simulation pass."""
+        return self.materialize_range(0, self.count)
+
+    def materialize_range(self, lo: int, hi: int) -> List[DynInst]:
+        """Fresh :class:`DynInst` objects for indices ``[lo, hi)`` only.
+
+        The sampling engine materializes just its warm zones and detailed
+        windows this way; skimmed regions never become objects at all.
+        Sparse columns (targets, source hints, reuse depths) are entered
+        at the right offset via flag prefix counts over the packed flags
+        column.
+        """
+        lo = max(lo, 0)
+        hi = min(hi, self.count)
+        if lo >= hi:
+            return []
+        if lo == 0:
+            t0 = h0 = d0 = 0
+        else:
+            t0 = self.flag_count_before(_F_TARGET, lo)
+            h0 = self.flag_count_before(_F_HSRCS, lo)
+            d0 = self.flag_count_before(_F_HDEPTH, lo)
         out: List[DynInst] = []
         append = out.append
-        targets = iter(self.targets)
-        hsrcs = iter(self.hsrcs)
-        hdepths = iter(self.hdepths)
+        targets = iter(self.targets[t0:])
+        hsrcs = iter(self.hsrcs[h0:])
+        hdepths = iter(self.hdepths[d0:])
         make = DynInst
         for (op, flag, seq, pc, next_pc, dest, srcs, imm, mem_addr,
              store_value, result, src_values) in zip(
-                self.ops, self.flags, self.seqs, self.pcs, self.next_pcs,
-                self.dests, self.srcss, self.imms, self.mem_addrs,
-                self.store_values, self.results, self.src_valuess):
+                self.ops[lo:hi], self.flags[lo:hi], self.seqs[lo:hi],
+                self.pcs[lo:hi], self.next_pcs[lo:hi], self.dests[lo:hi],
+                self.srcss[lo:hi], self.imms[lo:hi], self.mem_addrs[lo:hi],
+                self.store_values[lo:hi], self.results[lo:hi],
+                self.src_valuess[lo:hi]):
             dyn = make(seq, pc, op, dest, srcs, imm)
             dyn.next_pc = next_pc
             if src_values:

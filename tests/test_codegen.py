@@ -69,14 +69,19 @@ def test_fingerprint_tracks_scheme_and_config():
 
 
 def test_fingerprint_tracks_simulator_source(monkeypatch):
-    """Editing any repro module must invalidate cached kernels."""
+    """Editing any repro module must invalidate cached kernels.
+
+    The fingerprint is memoised per config instance (the source cannot
+    change under a running process — ``code_fingerprint`` is itself
+    cached for the process lifetime), so the post-edit world is a fresh
+    process: simulate it with a fresh config instance.
+    """
     import repro.harness.cache as harness_cache
 
-    config = MachineConfig(scheme="sharing")
-    before = kernel_fingerprint(config)
+    before = kernel_fingerprint(MachineConfig(scheme="sharing"))
     monkeypatch.setattr(harness_cache, "code_fingerprint",
                         lambda: "deadbeef-post-edit")
-    assert kernel_fingerprint(config) != before
+    assert kernel_fingerprint(MachineConfig(scheme="sharing")) != before
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,280 @@
+"""Bit-identity properties of the columnar fast-forward path.
+
+The columnar warming paths (:meth:`FunctionalWarmer.skim` /
+:meth:`~FunctionalWarmer.fast_forward` over a
+:class:`~repro.sampling.engine._ColumnarSource`) exist purely for speed:
+their contract is that every piece of warmed state — the shared
+:class:`~repro.frontend.branch_predictor.BranchUnit` (tables, history,
+BTB, RAS, stats), the whole cache hierarchy (per-set LRU order, dirty
+bits, prefetch tags, TLB recency, DRAM open rows, stride-prefetcher
+table) and the rename-predictor tables — finishes **bit-identical** to
+the per-inst reference path, under any interleaving of skim and
+fast-forward calls.  Hypothesis drives random traces and random
+interleavings at that contract; separate pins check
+:class:`~repro.pipeline.stats.SampledStats` equality end-to-end through
+:func:`~repro.sampling.engine.sampled_simulate` for every scheme,
+including the JSON-lines fallback stream and the NumPy kill switch.
+"""
+
+import dataclasses
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.branch_predictor import BranchUnit
+from repro.harness.cache import JsonTraceStream, TraceStream
+from repro.harness.runner import make_config
+from repro.sampling import as_schedule, sampled_simulate
+from repro.sampling.engine import _ColumnarSource, _SampledSource
+from repro.sampling.warmer import FunctionalWarmer
+from repro.workloads import trace_codec
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.profiles import BENCHMARKS
+from repro.workloads.trace_io import save_trace
+
+_SCHEMES = ("conventional", "early", "sharing", "hinted")
+
+
+# ------------------------------------------------------------- state digests
+def _branch_state(bu: BranchUnit) -> tuple:
+    """Every bit of BranchUnit state, including internal recency."""
+    def tbl(t):
+        return list(t.entries)
+
+    d = bu.direction
+    if hasattr(d, "chooser"):
+        ds = ("tournament", tbl(d.bimodal.table), tbl(d.gshare.table),
+              d.gshare.history, tbl(d.chooser))
+    elif hasattr(d, "history"):
+        ds = ("gshare", tbl(d.table), d.history)
+    else:
+        ds = ("bimodal", tbl(d.table))
+    return (ds, list(bu.btb.tags), list(bu.btb.targets),
+            list(bu.ras.stack), dataclasses.asdict(bu.stats))
+
+
+def _hier_state(h) -> tuple:
+    """Every bit of hierarchy state, including LRU/recency order."""
+    def cache_state(c):
+        return ([(list(s.tags), list(s.dirty)) for s in c._sets],
+                sorted(c._prefetched), dataclasses.asdict(c.stats))
+
+    prefetcher = None
+    if h.prefetcher is not None:
+        prefetcher = ({k: (e.last_addr, e.stride, e.confidence)
+                       for k, e in h.prefetcher.table.items()},
+                      h.prefetcher.issued)
+    return (cache_state(h.l1i), cache_state(h.l1d), cache_state(h.l2),
+            list(h.tlb._lru), dataclasses.asdict(h.tlb.stats),
+            list(h.dram._open_rows), dataclasses.asdict(h.dram.stats),
+            prefetcher)
+
+
+def _warmer_state(w: FunctionalWarmer) -> tuple:
+    state = [_branch_state(w.branch_unit), w._last_fetch_line]
+    if w.hierarchy is not None:
+        state.append(_hier_state(w.hierarchy))
+    state.append(w.export_predictor_state())
+    return tuple(state)
+
+
+def _make_warmer(profile, scheme, with_hierarchy=True):
+    config = make_config(profile, scheme, 64)
+    branch_unit = BranchUnit(kind=config.branch_predictor,
+                             table_size=config.predictor_table,
+                             btb_entries=config.btb_entries,
+                             ras_depth=config.ras_depth)
+    hierarchy = config.make_hierarchy() if with_hierarchy else None
+    return FunctionalWarmer(config, branch_unit, hierarchy=hierarchy)
+
+
+def _trace(profile_name: str, n: int, seed: int):
+    insts = list(SyntheticWorkload(BENCHMARKS[profile_name], total_insts=n,
+                                   seed=seed))
+    return trace_codec.decode_columns(trace_codec.encode(insts))
+
+
+# ------------------------------------------- warming interleaving property
+@st.composite
+def _interleavings(draw):
+    profile = draw(st.sampled_from(["hmmer", "gsm", "milc"]))
+    seed = draw(st.integers(1, 50))
+    n = draw(st.integers(50, 900))
+    scheme = draw(st.sampled_from(["conventional", "sharing"]))
+    # skim/fast-forward requests, deliberately allowed to overshoot the
+    # stream end and to land exactly on it
+    ops = draw(st.lists(
+        st.tuples(st.sampled_from(["skim", "ff"]), st.integers(0, 400)),
+        min_size=1, max_size=8))
+    limit = draw(st.none() | st.integers(1, n + 50))
+    return profile, seed, n, scheme, ops, limit
+
+
+@given(_interleavings())
+@settings(max_examples=30, deadline=None)
+def test_columnar_warming_is_bit_identical_to_per_inst(case):
+    profile, seed, n, scheme, ops, limit = case
+    cols = _trace(profile, n, seed)
+
+    ref_warmer = _make_warmer(BENCHMARKS[profile], scheme)
+    col_warmer = _make_warmer(BENCHMARKS[profile], scheme)
+    it = iter(cols.materialize())
+    ref_source = _SampledSource(lambda: next(it, None), limit=limit)
+    col_source = _ColumnarSource(cols, limit=limit)
+
+    for kind, count in ops:
+        method_ref = ref_warmer.skim if kind == "skim" \
+            else ref_warmer.fast_forward
+        method_col = col_warmer.skim if kind == "skim" \
+            else col_warmer.fast_forward
+        assert method_ref(ref_source, count) == method_col(col_source, count)
+        assert ref_source.consumed == col_source.consumed
+        assert ref_source.exhausted == col_source.exhausted
+
+    assert _warmer_state(ref_warmer) == _warmer_state(col_warmer)
+
+
+def test_columnar_warming_without_hierarchy():
+    cols = _trace("hmmer", 600, 3)
+    ref = _make_warmer(BENCHMARKS["hmmer"], "conventional",
+                       with_hierarchy=False)
+    col = _make_warmer(BENCHMARKS["hmmer"], "conventional",
+                       with_hierarchy=False)
+    it = iter(cols.materialize())
+    ref.fast_forward(_SampledSource(lambda: next(it, None)), 600)
+    col.fast_forward(_ColumnarSource(cols), 600)
+    assert _warmer_state(ref) == _warmer_state(col)
+
+
+# ------------------------------------------------------- end-to-end pins
+@pytest.mark.parametrize("scheme", _SCHEMES)
+def test_sampled_stats_identical_columnar_vs_per_inst(scheme):
+    profile = BENCHMARKS["hmmer"]
+    n = 6000
+    insts = list(SyntheticWorkload(profile, total_insts=n, seed=1))
+    stream = TraceStream(trace_codec.encode(insts), n)
+    schedule = "2000:150:100"
+
+    ref = sampled_simulate(make_config(profile, scheme, 64),
+                           iter(stream.columns().materialize()),
+                           schedule=as_schedule(schedule, seed=1),
+                           total_insts=n)
+    new = sampled_simulate(make_config(profile, scheme, 64), stream,
+                           schedule=as_schedule(schedule, seed=1),
+                           total_insts=n)
+    assert ref.to_dict() == new.to_dict()
+
+
+def test_jsonl_fallback_stream_matches_columnar():
+    """A JSON-lines stream has no columns — it must run the per-inst
+    fallback and still produce the identical estimate."""
+    profile = BENCHMARKS["gsm"]
+    n = 5000
+    insts = list(SyntheticWorkload(profile, total_insts=n, seed=2))
+    text = io.StringIO()
+    save_trace(iter(insts), text)
+    jsonl = JsonTraceStream(text.getvalue(), n)
+    binary = TraceStream(trace_codec.encode(insts), n)
+
+    config = make_config(profile, "sharing", 64)
+    via_jsonl = sampled_simulate(config, jsonl,
+                                 schedule=as_schedule("2000:150:100", seed=1),
+                                 total_insts=n)
+    via_columns = sampled_simulate(config, binary,
+                                   schedule=as_schedule("2000:150:100",
+                                                        seed=1),
+                                   total_insts=n)
+    assert via_jsonl.to_dict() == via_columns.to_dict()
+
+
+def test_numpy_kill_switch_changes_nothing(monkeypatch):
+    cols = _trace("hmmer", 800, 7)
+    baseline = (cols.branch_indices(), cols.mem_indices(),
+                cols.fetch_line_starts(64),
+                [cols.flag_count_before(trace_codec._F_TARGET, i)
+                 for i in (0, 3, 799)])
+
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    assert trace_codec.numpy_backend() is None
+    fresh = _trace("hmmer", 800, 7)
+    gated = (fresh.branch_indices(), fresh.mem_indices(),
+             fresh.fetch_line_starts(64),
+             [fresh.flag_count_before(trace_codec._F_TARGET, i)
+              for i in (0, 3, 799)])
+    assert baseline == gated
+
+    profile = BENCHMARKS["hmmer"]
+    stream = TraceStream(trace_codec.encode(fresh.materialize()), 800)
+    with_kill = sampled_simulate(make_config(profile, "sharing", 64), stream,
+                                 schedule=as_schedule("500:80:40", seed=1),
+                                 total_insts=800)
+    monkeypatch.delenv("REPRO_NO_NUMPY")
+    stream2 = TraceStream(trace_codec.encode(fresh.materialize()), 800)
+    without = sampled_simulate(make_config(profile, "sharing", 64), stream2,
+                               schedule=as_schedule("500:80:40", seed=1),
+                               total_insts=800)
+    assert with_kill.to_dict() == without.to_dict()
+
+
+# ----------------------------------------------------------- source batching
+@given(st.integers(1, 80), st.none() | st.integers(0, 100),
+       st.lists(st.integers(0, 40), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_take_batch_matches_take_loop(n, limit, batch_sizes):
+    cols = _trace("gsm", n, 1)
+    insts = cols.materialize()
+
+    for make in (lambda: _ColumnarSource(cols, limit=limit),
+                 lambda: (lambda it: _SampledSource(
+                     lambda: next(it, None), limit=limit))(iter(insts))):
+        batched = make()
+        looped = make()
+        for size in batch_sizes:
+            got = batched.take_batch(size)
+            want = []
+            for _ in range(size):
+                dyn = looped.take()
+                if dyn is None:
+                    break
+                want.append(dyn)
+            assert [d.seq for d in got] == [d.seq for d in want]
+            assert batched.consumed == looped.consumed
+            assert batched.exhausted == looped.exhausted
+
+
+def test_take_batch_exhaustion_is_strictly_past_the_end():
+    cols = _trace("gsm", 10, 1)
+    source = _ColumnarSource(cols, limit=10)
+    assert len(source.take_batch(10)) == 10
+    # landing exactly on the limit must NOT set the flag ...
+    assert not source.exhausted
+    # ... reading past it must
+    assert source.take_batch(1) == []
+    assert source.exhausted
+
+
+def test_advance_exhaustion_is_strictly_past_the_end():
+    cols = _trace("gsm", 10, 1)
+    source = _ColumnarSource(cols, limit=10)
+    assert source.advance(10) == (0, 10)
+    assert not source.exhausted
+    assert source.advance(1) == (10, 10)
+    assert source.exhausted
+
+
+# ------------------------------------------------------- predictor handoff
+def test_import_predictor_state_rejects_geometry_mismatch():
+    warmer = _make_warmer(BENCHMARKS["hmmer"], "sharing",
+                          with_hierarchy=False)
+    state = warmer.export_predictor_state()
+    bad = dict(state)
+    bad["type_predictor"] = state["type_predictor"] + [0]
+    with pytest.raises(ValueError, match="type_predictor geometry mismatch"):
+        warmer.import_predictor_state(bad)
+    bad = dict(state)
+    bad["single_use"] = state["single_use"][:-1]
+    with pytest.raises(ValueError, match="single_use geometry mismatch"):
+        warmer.import_predictor_state(bad)
+    # untouched state still round-trips
+    warmer.import_predictor_state(state)
