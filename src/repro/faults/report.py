@@ -11,7 +11,17 @@ from repro.faults.injectors import KINDS
 
 @dataclass
 class CampaignReport:
-    """Aggregated result of one fault-injection campaign."""
+    """Aggregated result of one fault-injection campaign.
+
+    Shared between the microarchitectural campaign (:mod:`repro.faults`)
+    and the fleet chaos campaign (:mod:`repro.fleet.chaos`): both
+    classify every injection into the same
+    masked/detected/recovered/silent/error/skipped taxonomy, and both
+    gate on the same invariant — zero unexpected outcomes, ``silent``
+    never acceptable.  ``title`` distinguishes them in human output;
+    fault kinds outside :data:`repro.faults.injectors.KINDS` (the chaos
+    kinds) render after the built-in ones.
+    """
 
     seed: int
     injections: int
@@ -22,6 +32,7 @@ class CampaignReport:
     unexpected: list = field(default_factory=list)
     #: ddmin-shrunk reproducers for the unexpected records
     reproducers: list = field(default_factory=list)
+    title: str = "fault campaign"
 
     @classmethod
     def from_records(cls, config, records) -> "CampaignReport":
@@ -53,6 +64,7 @@ class CampaignReport:
     # ------------------------------------------------------------------ output
     def to_dict(self) -> dict:
         return {
+            "title": self.title,
             "seed": self.seed,
             "injections": self.injections,
             "schemes": list(self.schemes),
@@ -70,19 +82,20 @@ class CampaignReport:
 
     def summary_lines(self) -> list[str]:
         lines = [
-            f"fault campaign: seed {self.seed}, {self.injections} injections "
+            f"{self.title}: seed {self.seed}, {self.injections} injections "
             f"across {', '.join(self.schemes)}",
-            f"  {'kind':<16} " + " ".join(
+            f"  {'kind':<20} " + " ".join(
                 f"{o:>10}" for o in
                 ("masked", "detected", "recovered", "silent", "error",
                  "skipped")),
         ]
-        for kind in KINDS:
+        extra = sorted(kind for kind in self.counts if kind not in KINDS)
+        for kind in (*KINDS, *extra):
             by = self.counts.get(kind)
             if not by:
                 continue
             lines.append(
-                f"  {kind:<16} " + " ".join(
+                f"  {kind:<20} " + " ".join(
                     f"{by.get(o, 0):>10}" for o in
                     ("masked", "detected", "recovered", "silent", "error",
                      "skipped")))

@@ -65,6 +65,11 @@ JOBS_ENV = "REPRO_JOBS"
 #: consecutive BrokenProcessPool failures before degrading to jobs=1
 POOL_FAILURE_LIMIT = 3
 
+#: characters of a per-point failure message kept when journaling or
+#: uploading — a recursive traceback must not bloat every journal line,
+#: result frame and final report it passes through
+ERROR_LIMIT = 8192
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -187,8 +192,27 @@ def _worker(payload: tuple[int, SweepPoint]) -> tuple[int, Optional[dict], Optio
     try:
         return index, _POINT_RUNNER(point).to_dict(), None
     except Exception as exc:
-        return index, None, (f"{type(exc).__name__}: {exc}\n"
-                             f"{traceback.format_exc()}")
+        return index, None, _bound_error(
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+
+
+def _bound_error(text: Optional[str]) -> Optional[str]:
+    """Clamp a failure message to :data:`ERROR_LIMIT` characters.
+
+    Keeps the head (exception type + message + outermost frames) and the
+    tail (the innermost frames, where the actual failure site is) and
+    drops the middle — the two ends are what a debugging session reads
+    first, and a pathological message (recursion tracebacks, a repr of a
+    huge structure) must stay journal- and wire-sized.
+    """
+    if text is None or len(text) <= ERROR_LIMIT:
+        return text
+    head = ERROR_LIMIT * 5 // 8
+    tail = ERROR_LIMIT - head
+    dropped = len(text) - head - tail
+    return (f"{text[:head]}\n"
+            f"... [{dropped} characters truncated] ...\n"
+            f"{text[-tail:]}")
 
 
 def _backoff(base: float, attempt: int, salt: int) -> float:
@@ -637,6 +661,7 @@ def run_points(
     retries: int = 0,
     retry_delay: float = 0.25,
     journal: Optional[SweepJournal] = None,
+    remote=None,
 ) -> list[PointResult]:
     """Execute a sweep; returns one :class:`PointResult` per point, in order.
 
@@ -656,6 +681,12 @@ def run_points(
     * ``retries`` — re-executions granted per point after a crash, a
       worker death, or a timeout; waits ``retry_delay * 2**(attempt-1)``
       plus deterministic jitter between attempts.
+    * ``remote`` — a ``"HOST:PORT"`` string or
+      :class:`repro.fleet.FleetConfig`: serve the pending points to TCP
+      fleet workers instead of executing them here (the coordinator
+      still degrades to local execution when no workers show up).
+      ``retries`` then bounds lease re-grants and ``timeout`` bounds the
+      coordinator's own local runs.
     """
     points = list(points)
     total = len(points)
@@ -697,8 +728,8 @@ def run_points(
         return results  # type: ignore[return-value]
 
     _prewarm_kernels(points, pending)
-    multiprocess = timeout is not None or \
-        (min(jobs, len(pending)) > 1)
+    multiprocess = remote is None and (timeout is not None or
+                                       min(jobs, len(pending)) > 1)
 
     try:
         if multiprocess:
@@ -706,7 +737,14 @@ def run_points(
             # before any worker forks, so cold workers attach instead of
             # re-reading disk per point
             broadcast.publish(points, pending)
-        if timeout is not None:
+        if remote is not None:
+            from repro.fleet.coordinator import (fleet_execute,
+                                                 resolve_fleet_config)
+
+            fleet_execute(points, pending, finish,
+                          resolve_fleet_config(remote),
+                          timeout=timeout, retries=retries)
+        elif timeout is not None:
             # enforcing a wall-clock bound needs killable workers, even
             # for jobs=1: run a fleet of (at least) one
             _run_fleet(points, pending, finish,
@@ -728,14 +766,110 @@ def run_points(
     return results  # type: ignore[return-value]
 
 
+class PointTimeout(Exception):
+    """A serially-executed point exceeded its wall-clock budget."""
+
+
+def _subprocess_child(conn, payload) -> None:
+    """Child side of the subprocess watchdog: run one point, ship the
+    result tuple back over the pipe."""
+    try:
+        conn.send(_worker(payload))
+    finally:
+        conn.close()
+
+
+def _worker_subprocess(payload, timeout: float):
+    """Run one point in a killable child process with a wall-clock bound.
+
+    The fallback watchdog for serial execution off the main thread
+    (where SIGALRM is unavailable): a straggler's child is killed, and
+    the parent reports the timeout as an ordinary per-point error.
+    """
+    import multiprocessing
+
+    index, _point = payload
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context()
+    parent_conn, child_conn = ctx.Pipe()
+    process = ctx.Process(target=_subprocess_child,
+                          args=(child_conn, payload), daemon=True)
+    process.start()
+    child_conn.close()
+    try:
+        if parent_conn.poll(timeout):
+            try:
+                result = parent_conn.recv()
+            except (EOFError, OSError):
+                result = (index, None,
+                          "worker process died while running the point")
+            process.join()
+            return result
+    finally:
+        parent_conn.close()
+    process.kill()
+    process.join()
+    return (index, None,
+            f"TimeoutError: point exceeded the {timeout}s wall-clock "
+            f"budget (serial watchdog)")
+
+
+def _worker_with_timeout(payload, timeout: Optional[float]):
+    """:func:`_worker` with the wall-clock watchdog still enforced.
+
+    Serial (in-process) execution is the degrade path of every other
+    mode, so it must honour ``timeout`` too — a sweep that fell back to
+    jobs=1 must not hang forever on the very straggler that broke the
+    pool.  On the main thread a SIGALRM itimer interrupts the point
+    in-process; off the main thread (or without SIGALRM) the point runs
+    in a killable child process instead.
+    """
+    if timeout is None:
+        return _worker(payload)
+    import signal
+    import threading
+
+    if not hasattr(signal, "SIGALRM") \
+            or threading.current_thread() is not threading.main_thread():
+        return _worker_subprocess(payload, timeout)
+    index, _point = payload
+    armed = [True]
+
+    def _alarm(signum, frame):
+        if armed[0]:
+            raise PointTimeout(
+                f"point exceeded the {timeout}s wall-clock budget "
+                f"(serial watchdog)")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return _worker(payload)
+    except PointTimeout as exc:
+        return index, None, f"TimeoutError: {exc}"
+    finally:
+        armed[0] = False
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def _run_serial(points, pending, finish, retries: int,
-                retry_delay: float) -> None:
-    """In-process execution with bounded retry + backoff."""
+                retry_delay: float, timeout: Optional[float] = None) -> None:
+    """In-process execution with bounded retry + backoff.
+
+    ``timeout`` keeps the per-point wall-clock bound alive on the
+    degrade paths (broken pool, failed fleet spawn, fleet coordinator
+    running points locally) — serial mode enforces it via SIGALRM or a
+    killable child process, never silently drops it.
+    """
     for index in pending:
         attempt = 0
         while True:
             attempt += 1
-            _, stats_dict, error = _worker((index, points[index]))
+            _, stats_dict, error = _worker_with_timeout(
+                (index, points[index]), timeout)
             if error is None or attempt > retries:
                 break
             time.sleep(_backoff(retry_delay, attempt, index))
@@ -744,14 +878,16 @@ def _run_serial(points, pending, finish, retries: int,
                                   attempts=attempt))
 
 
-def _run_executor(points, pending, finish, workers: int) -> None:
+def _run_executor(points, pending, finish, workers: int,
+                  timeout: Optional[float] = None) -> None:
     """Plain ProcessPoolExecutor fan-out with BrokenProcessPool recovery.
 
     A worker killed hard (OOM killer, SIGKILL) poisons the whole pool:
     every outstanding future raises :class:`BrokenProcessPool`.  Recovery
     rebuilds the pool and requeues exactly the unresolved points; after
     ``POOL_FAILURE_LIMIT`` consecutive breakages the remaining points
-    degrade to in-process serial execution — slower, but immune.
+    degrade to in-process serial execution — slower, but immune — with
+    any per-point ``timeout`` still enforced there.
     """
     remaining = set(pending)
     breakages = 0
@@ -774,7 +910,8 @@ def _run_executor(points, pending, finish, workers: int) -> None:
         except BrokenProcessPool:
             breakages += 1
             if breakages >= POOL_FAILURE_LIMIT:
-                _run_serial(points, sorted(remaining), finish, 0, 0.0)
+                _run_serial(points, sorted(remaining), finish, 0, 0.0,
+                            timeout=timeout)
                 return
 
 
@@ -863,7 +1000,19 @@ def _run_fleet(points, pending, finish, workers: int,
         queue.push(index, 1)
     delayed: list[tuple[float, int, int]] = []
     unresolved = set(pending)
-    slots = [spawn() for _ in range(workers)]
+    slots = []
+    try:
+        for _ in range(workers):
+            slots.append(spawn())
+    except OSError:
+        pass  # fork refused (rlimit, memory): run with what we got
+    if not slots:
+        # cannot fork at all — degrade to in-process serial execution,
+        # with the wall-clock watchdog still enforced rather than
+        # silently dropped
+        _run_serial(points, sorted(unresolved), finish, retries,
+                    retry_delay, timeout=timeout)
+        return
 
     def requeue(index: int, attempt: int, error: str) -> None:
         """A point crashed/timed out/lost its worker: retry or fail."""

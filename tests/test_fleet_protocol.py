@@ -1,0 +1,227 @@
+"""Fleet wire protocol and content-addressed store.
+
+The framing layer must be loud about every kind of damage — bad magic,
+torn frames, flipped bits, oversized lengths — and the store must refuse
+any blob whose digest or semantic validation fails.  These are the two
+gates that let the chaos harness promise "no silent corruption": if
+either one accepted damaged input quietly, a mangled upload could become
+a cached result.
+"""
+
+import json
+import socket
+import struct
+import zlib
+
+import pytest
+
+from repro.fleet.cas import (CasError, ContentStore, blob_digest,
+                             verify_digest)
+from repro.fleet.protocol import (MAGIC, ConnectionClosed, ProtocolError,
+                                  point_from_dict, point_to_dict,
+                                  recv_message, send_message)
+from repro.harness.cache import ResultCache, TraceCache
+from repro.harness.parallel import SweepPoint, run_points
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.profiles import BENCHMARKS, WorkloadProfile
+from repro.workloads.trace_codec import encode
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    yield a, b
+    a.close()
+    b.close()
+
+
+# ------------------------------------------------------------------ framing
+def test_frame_round_trip_with_body(pair):
+    a, b = pair
+    body = bytes(range(256)) * 17
+    send_message(a, {"type": "blob", "found": True, "key": "k"}, body)
+    msg, got = recv_message(b)
+    assert msg == {"type": "blob", "found": True, "key": "k"}
+    assert got == body
+
+
+def test_frame_round_trip_empty_body(pair):
+    a, b = pair
+    send_message(a, {"type": "lease"})
+    msg, body = recv_message(b)
+    assert msg == {"type": "lease"}
+    assert body == b""
+
+
+def test_clean_close_at_boundary_is_connection_closed(pair):
+    a, b = pair
+    a.close()
+    with pytest.raises(ConnectionClosed):
+        recv_message(b)
+
+
+def test_eof_mid_frame_is_protocol_error(pair):
+    a, b = pair
+    header = json.dumps({"type": "result"}).encode()
+    crc = zlib.crc32(header + b"x" * 100) & 0xFFFFFFFF
+    frame = struct.pack("<4sIQI", MAGIC, len(header), 100, crc) + header
+    a.sendall(frame + b"x" * 10)  # 90 body bytes never arrive
+    a.close()
+    with pytest.raises(ProtocolError) as err:
+        recv_message(b)
+    assert not isinstance(err.value, ConnectionClosed)
+    assert "truncated" in str(err.value)
+
+
+def test_crc_mismatch_is_protocol_error(pair):
+    a, b = pair
+    header = json.dumps({"type": "ok"}).encode()
+    crc = zlib.crc32(header) & 0xFFFFFFFF
+    damaged = bytearray(header)
+    damaged[2] ^= 0x20  # flip a bit after the CRC was computed
+    a.sendall(struct.pack("<4sIQI", MAGIC, len(header), 0, crc)
+              + bytes(damaged))
+    with pytest.raises(ProtocolError, match="CRC"):
+        recv_message(b)
+
+
+def test_bad_magic_is_protocol_error(pair):
+    a, b = pair
+    a.sendall(struct.pack("<4sIQI", b"JUNK", 2, 0, 0) + b"{}")
+    with pytest.raises(ProtocolError, match="magic"):
+        recv_message(b)
+
+
+def test_oversized_frame_refused_before_allocation(pair):
+    a, b = pair
+    # a corrupt length prefix claiming 1 TiB must be refused up front,
+    # not make the receiver try to read (or allocate) that much
+    a.sendall(struct.pack("<4sIQI", MAGIC, 16, 1 << 40, 0))
+    with pytest.raises(ProtocolError, match="exceeds"):
+        recv_message(b)
+
+
+def test_small_max_frame_is_enforced(pair):
+    a, b = pair
+    send_message(a, {"type": "blob"}, b"z" * 4096)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        recv_message(b, max_frame=128)
+
+
+def test_unparseable_header_is_protocol_error(pair):
+    a, b = pair
+    header = b"not json at all"
+    crc = zlib.crc32(header) & 0xFFFFFFFF
+    a.sendall(struct.pack("<4sIQI", MAGIC, len(header), 0, crc) + header)
+    with pytest.raises(ProtocolError, match="unparseable"):
+        recv_message(b)
+
+
+def test_header_without_type_is_protocol_error(pair):
+    a, b = pair
+    header = json.dumps({"no_type": 1}).encode()
+    crc = zlib.crc32(header) & 0xFFFFFFFF
+    a.sendall(struct.pack("<4sIQI", MAGIC, len(header), 0, crc) + header)
+    with pytest.raises(ProtocolError, match="unparseable"):
+        recv_message(b)
+
+
+# ----------------------------------------------------------- point transport
+def test_point_round_trip_restores_canonical_profile():
+    point = SweepPoint(BENCHMARKS["gsm"], "sharing", 64, 5000, 3,
+                       sampling="1000:100:80", port_scheme="bypass_filter")
+    raw = json.loads(json.dumps(point_to_dict(point)))  # a real JSON hop
+    restored = point_from_dict(raw)
+    assert restored == point
+    # identity, not just equality: memo keys on the canonical profile
+    # object must stay warm on the worker side
+    assert restored.profile is BENCHMARKS["gsm"]
+
+
+def test_point_round_trip_unknown_profile_rebuilds_dataclass():
+    import dataclasses
+
+    base = BENCHMARKS["gsm"]
+    custom = dataclasses.replace(base, name="gsm-tweaked",
+                                 load_frac=base.load_frac + 0.01)
+    point = SweepPoint(custom, "conventional", 48, 1000, 1)
+    raw = json.loads(json.dumps(point_to_dict(point)))
+    restored = point_from_dict(raw)
+    assert restored.profile is not custom
+    assert restored.profile == custom
+    # JSON stringified the consumer_dist keys; they must come back as ints
+    assert all(isinstance(k, int)
+               for k in restored.profile.consumer_dist)
+
+
+# ---------------------------------------------------------------------- CAS
+@pytest.fixture()
+def store(tmp_path):
+    return ContentStore(
+        result_cache=ResultCache(tmp_path / "results", fingerprint="fp"),
+        trace_cache=TraceCache(tmp_path / "traces"))
+
+
+def _trace_blob():
+    stream = SyntheticWorkload(BENCHMARKS["gsm"], total_insts=120, seed=7)
+    return encode(iter(stream))
+
+
+def _result_blob():
+    result = run_points(
+        [SweepPoint(BENCHMARKS["gsm"], "sharing", 48, 300, 1)], jobs=1)[0]
+    return json.dumps(result.stats.to_dict(), sort_keys=True).encode()
+
+
+def test_digest_helpers():
+    body = b"some blob"
+    verify_digest(body, blob_digest(body))
+    with pytest.raises(CasError, match="digest mismatch"):
+        verify_digest(body, blob_digest(b"other"))
+
+
+def test_store_trace_round_trip(store):
+    blob = _trace_blob()
+    store.put("trace", "trace-key", blob, blob_digest(blob))
+    assert store.get("trace", "trace-key") == blob
+    assert store.committed == 1 and store.served == 1
+
+
+def test_store_result_round_trip(store):
+    blob = _result_blob()
+    store.put("result", "point-key", blob, blob_digest(blob))
+    assert store.get("result", "point-key") == blob
+
+
+def test_store_rejects_digest_mismatch(store):
+    blob = _trace_blob()
+    truncated = blob[:len(blob) // 2]
+    with pytest.raises(CasError, match="digest mismatch"):
+        store.put("trace", "trace-key", truncated, blob_digest(blob))
+    assert store.get("trace", "trace-key") is None
+    assert store.rejected == 1 and store.committed == 0
+
+
+def test_store_rejects_semantically_invalid_trace(store):
+    # correct digest over garbage bytes: the digest gate passes, the
+    # codec validation must still refuse the commit
+    garbage = b"\x00" * 64
+    with pytest.raises(CasError, match="codec validation"):
+        store.put("trace", "trace-key", garbage, blob_digest(garbage))
+    assert store.get("trace", "trace-key") is None
+
+
+def test_store_rejects_semantically_invalid_result(store):
+    garbage = json.dumps([1, 2, 3]).encode()  # JSON, but not a stats dict
+    with pytest.raises(CasError, match="stats validation"):
+        store.put("result", "point-key", garbage, blob_digest(garbage))
+    assert store.get("result", "point-key") is None
+
+
+def test_store_rejects_unknown_kind(store):
+    with pytest.raises(CasError, match="unknown blob kind"):
+        store.put("codecache", "k", b"x", blob_digest(b"x"))
+    with pytest.raises(CasError, match="unknown blob kind"):
+        store.get("codecache", "k")

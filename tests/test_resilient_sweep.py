@@ -157,6 +157,122 @@ def test_timeout_retry_succeeds_once_point_runs_fast(tmp_path, runner):
     assert results[0].stats.to_dict() == baseline.to_dict()
 
 
+def test_serial_watchdog_sigalrm_on_main_thread(runner):
+    def hang(point):
+        time.sleep(60)
+
+    runner(hang)
+    collected = {}
+    start = time.monotonic()
+    parallel._run_serial(_points(1), [0], collected.__setitem__,
+                         retries=0, retry_delay=0.01, timeout=0.3)
+    assert time.monotonic() - start < 30
+    assert not collected[0].ok
+    assert "wall-clock budget" in collected[0].error
+
+
+def test_serial_watchdog_subprocess_off_main_thread(runner):
+    # no SIGALRM off the main thread: the watchdog must fall back to a
+    # killable child process instead of silently dropping the bound
+    import threading
+
+    def hang(point):
+        time.sleep(60)
+
+    runner(hang)
+    collected = {}
+    worker = threading.Thread(
+        target=lambda: parallel._run_serial(
+            _points(1), [0], collected.__setitem__,
+            retries=0, retry_delay=0.01, timeout=0.3))
+    start = time.monotonic()
+    worker.start()
+    worker.join(timeout=30)
+    assert not worker.is_alive()
+    assert time.monotonic() - start < 30
+    assert not collected[0].ok
+    assert "serial watchdog" in collected[0].error
+
+
+def test_serial_watchdog_clears_after_fast_point():
+    # the itimer must be disarmed once the point returns: a fast point
+    # followed by a slow stretch of non-point work must not blow up
+    import signal
+
+    collected = {}
+    parallel._run_serial(_points(1), [0], collected.__setitem__,
+                         retries=0, retry_delay=0.01, timeout=5.0)
+    assert collected[0].ok
+    assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+
+def test_fleet_spawn_failure_degrades_serial_with_timeout(
+        runner, monkeypatch):
+    # fork refused entirely: the fleet degrades to in-process serial
+    # execution and the wall-clock bound must survive the degrade
+    import multiprocessing
+
+    real = multiprocessing.get_context
+
+    class _NoForkCtx:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def Pipe(self):
+            return self._inner.Pipe()
+
+        def Process(self, *args, **kwargs):
+            raise OSError("fork refused (injected)")
+
+    monkeypatch.setattr(multiprocessing, "get_context",
+                        lambda kind=None: _NoForkCtx(real("fork")))
+
+    def hang(point):
+        time.sleep(60)
+
+    runner(hang)
+    collected = {}
+    start = time.monotonic()
+    parallel._run_fleet(_points(1), [0], collected.__setitem__,
+                        workers=2, timeout=0.3, retries=0,
+                        retry_delay=0.01)
+    assert time.monotonic() - start < 30
+    assert not collected[0].ok
+    assert "wall-clock budget" in collected[0].error
+
+
+# ------------------------------------------------------- bounded errors
+def test_bound_error_passthrough_and_none():
+    assert parallel._bound_error(None) is None
+    assert parallel._bound_error("short message") == "short message"
+    exactly = "x" * parallel.ERROR_LIMIT
+    assert parallel._bound_error(exactly) == exactly
+
+
+def test_bound_error_keeps_head_and_tail():
+    text = "HEAD!" + "x" * (20 * parallel.ERROR_LIMIT) + "!TAIL"
+    bounded = parallel._bound_error(text)
+    assert len(bounded) < parallel.ERROR_LIMIT + 64
+    assert bounded.startswith("HEAD!")
+    assert bounded.endswith("!TAIL")
+    assert "characters truncated" in bounded
+
+
+def test_pathological_failure_message_is_bounded(runner):
+    # a repr-of-a-huge-structure exception must reach the PointResult
+    # journal- and wire-sized, head and tail intact
+    def boom(point):
+        raise ValueError("A" * 200_000 + "needle-at-the-end")
+
+    runner(boom)
+    results = run_points(_points(1), jobs=1)
+    error = results[0].error
+    assert len(error) < parallel.ERROR_LIMIT + 64
+    assert error.startswith("ValueError")
+    assert "needle-at-the-end" in error
+    assert "characters truncated" in error
+
+
 # ------------------------------------------------------------- worker death
 def test_worker_death_is_requeued_and_recovered(tmp_path, runner):
     marker = tmp_path / "die-once"
@@ -255,6 +371,31 @@ def test_journal_tolerates_corrupt_and_alien_lines(tmp_path):
     assert len(journal) == 1
     resumed = run_points(points, jobs=1, journal=journal)
     assert resumed[0].journaled
+
+
+def test_journal_resume_with_torn_final_record_reruns_identically(tmp_path):
+    # simulate the coordinator dying mid-append: the last *real* record
+    # is cut short on disk.  Resume must drop exactly the torn record,
+    # serve the intact ones, and re-run the torn point to the same bits
+    points = _points(3)
+    path = tmp_path / "sweep.jsonl"
+    complete = run_points(points, jobs=1, journal=SweepJournal(path))
+    assert all(r.ok for r in complete)
+
+    raw = path.read_bytes()
+    torn_at = raw.rstrip(b"\n").rfind(b"\n")  # start of the final record
+    path.write_bytes(raw[:torn_at + 30])  # 29 bytes of record 3, no \n
+
+    journal = SweepJournal(path)
+    assert journal.skipped_lines == 1
+    assert len(journal) == 2
+
+    resumed = run_points(points, jobs=1, journal=journal)
+    assert [r.journaled for r in resumed] == [True, True, False]
+    assert resumed[2].attempts >= 1  # genuinely re-simulated
+    for before, after in zip(complete, resumed):
+        assert after.ok
+        assert after.stats.to_dict() == before.stats.to_dict()
 
 
 def test_journal_from_stale_code_fingerprint_serves_nothing(tmp_path):

@@ -281,6 +281,58 @@ def test_jsonl_format_disables_publish(trace_env, monkeypatch):
     assert not parallel._SHM_WORKLOADS
 
 
+def _attach_then_hang(point, conn):
+    reset_trace_memo()  # a genuinely cold consumer
+    parallel._attach_shared_workload(point)
+    conn.send("attached")
+    import time
+
+    time.sleep(60)  # SIGKILLed long before this returns
+
+
+def test_broadcast_survives_worker_killed_right_after_attach(trace_env):
+    # a worker SIGKILLed in the window between attaching a segment and
+    # reading its first instruction must not corrupt the parent's
+    # accounting: only the parent owns unlinking, so release + close
+    # still retire the segment (and the dead child's half-open handle
+    # must not resurrect it)
+    import multiprocessing
+    import signal
+
+    point = _points(1, insts=800)[0]
+    broadcast = WorkloadBroadcast()
+    segment_name = None
+    try:
+        broadcast.publish([point], [0])
+        assert len(parallel._SHM_WORKLOADS) == 1
+        (segment_name, _size), = parallel._SHM_WORKLOADS.values()
+
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(target=_attach_then_hang,
+                              args=(point, child_conn), daemon=True)
+        process.start()
+        child_conn.close()
+        assert parent_conn.poll(30), "child never attached"
+        assert parent_conn.recv() == "attached"
+        os.kill(process.pid, signal.SIGKILL)
+        process.join(10)
+        parent_conn.close()
+
+        # the point resolves (a kill means requeue-elsewhere, but it
+        # resolves exactly once either way): refcount drops to zero and
+        # the segment unlinks despite the dead consumer
+        broadcast.release(point)
+        assert not parallel._SHM_WORKLOADS
+    finally:
+        broadcast.close()
+
+    from multiprocessing.shared_memory import SharedMemory
+
+    with pytest.raises(FileNotFoundError):
+        SharedMemory(name=segment_name)
+
+
 # ------------------------------------------------------- end-to-end identity
 @pytest.mark.parametrize("jobs,fmt,shm,affinity", [
     (2, "binary", True, True),    # full data plane
